@@ -1,0 +1,73 @@
+// Extension (paper §7 future work): per-kernel frequency scaling.
+//
+// Compares, for both applications, the energy/time of (a) the default
+// clock, (b) the best single whole-application frequency under a slowdown
+// budget, and (c) a per-kernel plan that retargets the clock before each
+// kernel (frequency-switch penalties included). Per-kernel DVFS can save
+// more than any single frequency when an application mixes memory-bound
+// and compute-bound kernels.
+#include "bench_util.hpp"
+#include "core/kernel_planner.hpp"
+
+namespace {
+
+using namespace dsem;
+
+void run(const std::string& title, synergy::Device& device,
+         const core::Workload& workload, double max_slowdown) {
+  print_banner(std::cout, title);
+
+  const core::Measurement def = core::measure_default(device, workload, 5);
+
+  // Best single frequency under the budget.
+  const auto c = core::characterize(device, workload, 5);
+  double best_single_freq = c.default_freq_mhz;
+  double best_single_energy = def.energy_j;
+  double best_single_time = def.time_s;
+  for (const auto& p : c.points) {
+    if (1.0 - p.speedup <= max_slowdown &&
+        p.energy_j < best_single_energy) {
+      best_single_freq = p.freq_mhz;
+      best_single_energy = p.energy_j;
+      best_single_time = p.time_s;
+    }
+  }
+
+  const core::KernelPlan plan =
+      core::plan_kernel_frequencies(device, workload, max_slowdown, 5);
+  const core::Measurement planned =
+      core::measure_with_plan(device, workload, plan, 5);
+
+  Table table({"policy", "time_s", "energy_j", "vs_default"});
+  table.add_row({"default clock", fmt(def.time_s, 4), fmt(def.energy_j, 2),
+                 "+0.0%"});
+  table.add_row({"best single freq (" + fmt(best_single_freq, 0) + " MHz)",
+                 fmt(best_single_time, 4), fmt(best_single_energy, 2),
+                 fmt_percent(best_single_energy / def.energy_j - 1.0)});
+  table.add_row({"per-kernel plan", fmt(planned.time_s, 4),
+                 fmt(planned.energy_j, 2),
+                 fmt_percent(planned.energy_j / def.energy_j - 1.0)});
+  table.print(std::cout);
+
+  std::cout << "\nper-kernel assignments (budget: "
+            << fmt_percent(max_slowdown) << " slowdown per kernel):\n";
+  Table assignments({"kernel", "freq_mhz", "planned_saving"});
+  for (const auto& [name, freq] : plan.freq_by_kernel) {
+    assignments.add_row({name, fmt(freq, 0),
+                         fmt_percent(plan.predicted_saving.at(name))});
+  }
+  assignments.print(std::cout);
+}
+
+} // namespace
+
+int main() {
+  bench::Rig rig;
+  run("Per-kernel DVFS — Cronos 160x64x64 on V100 (<=2% slowdown)",
+      rig.v100, core::CronosWorkload({160, 64, 64}, 10), 0.02);
+  run("Per-kernel DVFS — Cronos 160x64x64 on V100 (<=15% slowdown)",
+      rig.v100, core::CronosWorkload({160, 64, 64}, 10), 0.15);
+  run("Per-kernel DVFS — LiGen 10000x89x20 on V100 (<=15% slowdown)",
+      rig.v100, core::LigenWorkload(10000, 89, 20), 0.15);
+  return 0;
+}

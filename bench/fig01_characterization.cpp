@@ -1,0 +1,18 @@
+// Figure 1: LiGen and Cronos multi-objective characterization on the
+// NVIDIA V100 — speedup vs normalized energy across all 196 core
+// frequencies, with the Pareto-optimal configurations flagged.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  const core::LigenWorkload ligen(4096, 89, 8);
+  bench::print_characterization(std::cout, "Fig. 1a — LiGen on NVIDIA V100",
+                         core::characterize(rig.v100, ligen));
+
+  const core::CronosWorkload cronos({80, 32, 32}, 10);
+  bench::print_characterization(std::cout, "Fig. 1b — Cronos on NVIDIA V100",
+                         core::characterize(rig.v100, cronos));
+  return 0;
+}

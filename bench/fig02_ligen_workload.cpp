@@ -1,0 +1,22 @@
+// Figure 2: LiGen Pareto structure flips with workload size — a tiny
+// input (2 ligands x 89 atoms x 8 fragments) gains speed from boosting
+// but saves nothing by down-clocking, while a large input (10000 x 89 x
+// 20) saves energy at modest speed loss.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  const core::LigenWorkload small(2, 89, 8);
+  bench::print_characterization(
+      std::cout, "Fig. 2a — LiGen small input (2 lig x 89 at x 8 frag), V100",
+      core::characterize(rig.v100, small));
+
+  const core::LigenWorkload large(10000, 89, 20);
+  bench::print_characterization(
+      std::cout,
+      "Fig. 2b — LiGen large input (10000 lig x 89 at x 20 frag), V100",
+      core::characterize(rig.v100, large));
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 3: Cronos Pareto structure vs workload size — 20x8x8 is nearly
+// frequency-insensitive, 160x64x64 saves ~20% energy by down-clocking at
+// ~1% speedup loss.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  bench::print_characterization(
+      std::cout, "Fig. 3a — Cronos small input (20x8x8), V100",
+      core::characterize(rig.v100, core::CronosWorkload({20, 8, 8}, 10)));
+
+  bench::print_characterization(
+      std::cout, "Fig. 3b — Cronos large input (160x64x64), V100",
+      core::characterize(rig.v100, core::CronosWorkload({160, 64, 64}, 10)));
+  return 0;
+}

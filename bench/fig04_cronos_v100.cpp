@@ -1,0 +1,18 @@
+// Figure 4: Cronos grid-size scalability on the NVIDIA V100 — raising the
+// clock wastes up to ~40% energy with no speedup; larger grids offer
+// free-lunch energy savings by down-clocking.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  bench::print_characterization(
+      std::cout, "Fig. 4a — Cronos 10x4x4 grid, NVIDIA V100",
+      core::characterize(rig.v100, core::CronosWorkload({10, 4, 4}, 10)));
+
+  bench::print_characterization(
+      std::cout, "Fig. 4b — Cronos 160x64x64 grid, NVIDIA V100",
+      core::characterize(rig.v100, core::CronosWorkload({160, 64, 64}, 10)));
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 5: Cronos grid-size scalability on the AMD MI100 — no fixed
+// default clock; the "auto" performance level is the speedup baseline and
+// sits at the top of the range, with deep down-clock energy savings
+// (~35% small grid, ~5% less on the large grid) at ~10% speedup loss.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  bench::print_characterization(
+      std::cout, "Fig. 5a — Cronos 10x4x4 grid, AMD MI100 (auto baseline)",
+      core::characterize(rig.mi100, core::CronosWorkload({10, 4, 4}, 10)));
+
+  bench::print_characterization(
+      std::cout, "Fig. 5b — Cronos 160x64x64 grid, AMD MI100 (auto baseline)",
+      core::characterize(rig.mi100, core::CronosWorkload({160, 64, 64}, 10)));
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 6: LiGen raw energy-vs-time on the NVIDIA V100, scaling the
+// number of fragments (4, 8, 16, 20) at fixed atom counts (31 and 89),
+// 100000 ligands. Both energy and time grow with fragments, more markedly
+// at the larger atom count.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  for (int atoms : {31, 89}) {
+    std::vector<bench::EnergyTimeSeries> series;
+    for (int frags : {4, 8, 16, 20}) {
+      const core::LigenWorkload w(100000, atoms, frags);
+      series.push_back(bench::sweep_series(
+          rig.v100, w, std::to_string(frags) + " frags"));
+    }
+    bench::print_energy_time(std::cout,
+                      "Fig. 6 — LiGen on V100, " + std::to_string(atoms) +
+                          " atoms, 100000 ligands, fragment sweep",
+                      series);
+  }
+  return 0;
+}

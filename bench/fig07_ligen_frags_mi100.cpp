@@ -1,0 +1,23 @@
+// Figure 7: as Figure 6, on the AMD MI100 — same fragment scaling, with
+// higher absolute time and energy than the V100 and larger energy spread
+// at the big atom count.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  for (int atoms : {31, 89}) {
+    std::vector<bench::EnergyTimeSeries> series;
+    for (int frags : {4, 8, 16, 20}) {
+      const core::LigenWorkload w(100000, atoms, frags);
+      series.push_back(bench::sweep_series(
+          rig.mi100, w, std::to_string(frags) + " frags"));
+    }
+    bench::print_energy_time(std::cout,
+                      "Fig. 7 — LiGen on MI100, " + std::to_string(atoms) +
+                          " atoms, 100000 ligands, fragment sweep",
+                      series);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 8: LiGen raw energy-vs-time on the NVIDIA V100, scaling the
+// number of atoms (31, 63, 74, 89) at fixed fragment counts (4 and 20),
+// 100000 ligands.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  for (int frags : {4, 20}) {
+    std::vector<bench::EnergyTimeSeries> series;
+    for (int atoms : {31, 63, 74, 89}) {
+      const core::LigenWorkload w(100000, atoms, frags);
+      series.push_back(bench::sweep_series(
+          rig.v100, w, std::to_string(atoms) + " atoms"));
+    }
+    bench::print_energy_time(std::cout,
+                      "Fig. 8 — LiGen on V100, " + std::to_string(frags) +
+                          " fragments, 100000 ligands, atom sweep",
+                      series);
+  }
+  return 0;
+}

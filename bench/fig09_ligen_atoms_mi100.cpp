@@ -1,0 +1,21 @@
+// Figure 9: as Figure 8, on the AMD MI100.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  for (int frags : {4, 20}) {
+    std::vector<bench::EnergyTimeSeries> series;
+    for (int atoms : {31, 63, 74, 89}) {
+      const core::LigenWorkload w(100000, atoms, frags);
+      series.push_back(bench::sweep_series(
+          rig.mi100, w, std::to_string(atoms) + " atoms"));
+    }
+    bench::print_energy_time(std::cout,
+                      "Fig. 9 — LiGen on MI100, " + std::to_string(frags) +
+                          " fragments, 100000 ligands, atom sweep",
+                      series);
+  }
+  return 0;
+}

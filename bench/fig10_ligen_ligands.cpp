@@ -1,0 +1,27 @@
+// Figure 10: LiGen characterization scaling the ligand batch — small
+// (256 x 31 atoms x 4 frags) vs large (10000 x 89 x 20) on both GPUs.
+// On AMD the auto performance level is the baseline and always performs
+// best; small inputs leave more room for energy-saving down-clocks.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  const core::LigenWorkload small(256, 31, 4);
+  const core::LigenWorkload large(10000, 89, 20);
+
+  bench::print_characterization(std::cout,
+                         "Fig. 10a — LiGen small input, NVIDIA V100",
+                         core::characterize(rig.v100, small));
+  bench::print_characterization(std::cout,
+                         "Fig. 10b — LiGen large input, NVIDIA V100",
+                         core::characterize(rig.v100, large));
+  bench::print_characterization(std::cout,
+                         "Fig. 10c — LiGen small input, AMD MI100",
+                         core::characterize(rig.mi100, small));
+  bench::print_characterization(std::cout,
+                         "Fig. 10d — LiGen large input, AMD MI100",
+                         core::characterize(rig.mi100, large));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 13 (headline result): prediction accuracy of the domain-specific
+// models vs the general-purpose baseline, as MAPE of the speedup and
+// normalized-energy curves over all V100 frequencies, leave-one-input-out
+// cross-validated.
+//
+// Protocol (paper §5): the GP model trains once on the 106-kernel
+// micro-benchmark suite; each DS model trains on the application's input
+// sweep with the reported input held out; both predict the full frequency
+// curve of the held-out input and are scored against the measured curve.
+#include "bench_util.hpp"
+#include "microbench/suite.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  std::cout << "training the general-purpose model on "
+            << microbench::kSuiteSize << " micro-benchmarks...\n";
+  core::GeneralPurposeModel gp;
+  gp.train(rig.v100, microbench::make_suite(), 3, 4);
+
+  {
+    std::cout << "building the Cronos dataset (grid sweep x 196 freqs x 5 "
+                 "reps)...\n";
+    const auto workloads = bench::cronos_workloads();
+    const core::Dataset dataset = core::build_dataset(rig.v100, workloads, 5);
+    const auto reported = bench::cronos_reported();
+    const auto report =
+        core::evaluate_accuracy(dataset, workloads, gp, reported);
+    bench::print_accuracy_report(
+        std::cout, "Fig. 13a/b — Cronos speedup & normalized-energy MAPE",
+        report);
+  }
+
+  {
+    std::cout << "\nbuilding the LiGen dataset (96 input tuples x 196 freqs "
+                 "x 5 reps)...\n";
+    const auto workloads = bench::ligen_workloads();
+    const core::Dataset dataset = core::build_dataset(rig.v100, workloads, 5);
+    const auto reported = bench::ligen_reported();
+    const auto report =
+        core::evaluate_accuracy(dataset, workloads, gp, reported);
+    bench::print_accuracy_report(
+        std::cout, "Fig. 13c/d — LiGen speedup & normalized-energy MAPE",
+        report);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 14: Pareto-optimal frequency configurations predicted by the
+// general-purpose and domain-specific models for the largest inputs of
+// each application (LiGen 10000x89x20, Cronos 160x64x64), evaluated at
+// the objectives those frequencies actually achieve, against the true
+// Pareto set.
+#include "bench_util.hpp"
+#include "microbench/suite.hpp"
+
+int main() {
+  using namespace dsem;
+  bench::Rig rig;
+
+  core::GeneralPurposeModel gp;
+  gp.train(rig.v100, microbench::make_suite(), 3, 4);
+
+  {
+    const auto workloads = bench::ligen_workloads();
+    const core::Dataset dataset = core::build_dataset(rig.v100, workloads, 5);
+    const auto eval = core::evaluate_pareto(
+        dataset, workloads, core::LigenWorkload(10000, 89, 20).name(), gp);
+    bench::print_pareto_evaluation(
+        std::cout, "Fig. 14a — LiGen (10000 x 89 x 20) predicted Pareto sets",
+        eval);
+  }
+
+  {
+    const auto workloads = bench::cronos_workloads();
+    const core::Dataset dataset = core::build_dataset(rig.v100, workloads, 5);
+    const auto eval =
+        core::evaluate_pareto(dataset, workloads, "160x64x64", gp);
+    bench::print_pareto_evaluation(
+        std::cout, "Fig. 14b — Cronos (160x64x64) predicted Pareto sets",
+        eval);
+  }
+  return 0;
+}

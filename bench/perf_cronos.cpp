@@ -1,0 +1,66 @@
+// Performance micro-benchmarks of the Cronos solver host numerics
+// (cell-update throughput of the 13-point stencil).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cronos/problems.hpp"
+#include "cronos/solver.hpp"
+
+namespace {
+
+using namespace dsem;
+
+void BM_ComputeChangesMhd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cronos::SolverConfig config;
+  config.dims = {n, n, n};
+  cronos::Solver solver(std::make_shared<cronos::IdealMhdLaw>(5.0 / 3.0),
+                        config);
+  solver.initialize(cronos::mhd_turbulence_ic(5.0 / 3.0));
+  cronos::State dudt(config.dims, 8);
+  cronos::Field3D cfl(config.dims);
+  for (auto _ : state) {
+    solver.compute_changes(solver.state(), dudt, cfl);
+    benchmark::DoNotOptimize(cfl.interior_max_abs());
+  }
+  state.SetItemsProcessed(state.iterations() * config.dims.cell_count());
+}
+BENCHMARK(BM_ComputeChangesMhd)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullStepEuler(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  synergy::Queue queue(device, synergy::ExecMode::kValidate);
+  cronos::SolverConfig config;
+  config.dims = {n, n, n};
+  cronos::Solver solver(std::make_shared<cronos::EulerLaw>(1.4), config);
+  solver.initialize(cronos::euler_uniform(1.0, {0.3, 0.2, 0.1}, 1.0, 1.4));
+  for (auto _ : state) {
+    solver.step(queue);
+  }
+  state.SetItemsProcessed(state.iterations() * config.dims.cell_count());
+}
+BENCHMARK(BM_FullStepEuler)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_CflReduce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cronos::SolverConfig config;
+  config.dims = {n, n, n};
+  cronos::Solver solver(std::make_shared<cronos::BurgersLaw>(), config);
+  solver.initialize(cronos::burgers_sine(1.0, 2.0));
+  cronos::State dudt(config.dims, 1);
+  cronos::Field3D cfl(config.dims);
+  solver.compute_changes(solver.state(), dudt, cfl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.reduce_max_rate(cfl));
+  }
+  state.SetItemsProcessed(state.iterations() * config.dims.cell_count());
+}
+BENCHMARK(BM_CflReduce)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Performance micro-benchmarks of the LiGen docking host numerics.
+#include <benchmark/benchmark.h>
+
+#include "ligen/screening.hpp"
+
+namespace {
+
+using namespace dsem;
+
+void BM_DockSingleLigand(benchmark::State& state) {
+  const auto protein = ligen::Protein::generate_pocket(0xBE);
+  const ligen::DockingEngine engine(protein);
+  Rng rng(1);
+  const auto ligand =
+      ligen::generate_ligand(static_cast<int>(state.range(0)), 8, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.dock(ligand, seed++));
+  }
+}
+BENCHMARK(BM_DockSingleLigand)->Arg(31)->Arg(89)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComputeScore(benchmark::State& state) {
+  const auto protein = ligen::Protein::generate_pocket(0xBF);
+  const ligen::DockingEngine engine(protein);
+  Rng rng(2);
+  const auto ligand = ligen::generate_ligand(89, 8, rng);
+  const auto poses = engine.dock(ligand, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_score(poses.front(), ligand));
+  }
+}
+BENCHMARK(BM_ComputeScore);
+
+void BM_ScreenLibraryParallel(benchmark::State& state) {
+  const auto protein = ligen::Protein::generate_pocket(0xC0);
+  const auto library = ligen::generate_library(
+      static_cast<int>(state.range(0)), 31, 4, 0x11);
+  const ligen::VirtualScreen screen(protein);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(screen.run_host(library));
+  }
+  state.SetItemsProcessed(state.iterations() * library.size());
+}
+BENCHMARK(BM_ScreenLibraryParallel)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_LigandGeneration(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ligen::generate_ligand(89, 20, rng));
+  }
+}
+BENCHMARK(BM_LigandGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

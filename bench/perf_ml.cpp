@@ -1,0 +1,65 @@
+// Performance micro-benchmarks of the ML layer: forest fit dominates the
+// LOOCV evaluation harness.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/forest.hpp"
+#include "ml/svr.hpp"
+
+namespace {
+
+using namespace dsem;
+
+std::pair<ml::Matrix, std::vector<double>> make_data(std::size_t n,
+                                                     std::size_t k) {
+  Rng rng(7);
+  ml::Matrix x(n, k);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      x(i, j) = rng.uniform(0.0, 10.0);
+      acc += (j + 1.0) * x(i, j);
+    }
+    y[i] = acc + std::sin(acc) + rng.normal(0.0, 0.1);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto [x, y] = make_data(static_cast<std::size_t>(state.range(0)), 4);
+  ml::ForestParams params;
+  params.n_estimators = 100;
+  for (auto _ : state) {
+    ml::RandomForestRegressor forest(params);
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(1000)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto [x, y] = make_data(5000, 4);
+  ml::RandomForestRegressor forest;
+  forest.fit(x, y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_one(x.row(i++ % x.rows())));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_SvrFit(benchmark::State& state) {
+  const auto [x, y] = make_data(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    ml::SvrRbf svr(100.0, 0.01, 1.0, 100);
+    svr.fit(x, y);
+    benchmark::DoNotOptimize(svr.support_vector_count());
+  }
+}
+BENCHMARK(BM_SvrFit)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

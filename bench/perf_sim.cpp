@@ -1,0 +1,66 @@
+// Performance micro-benchmarks of the device simulator: launch cost is
+// what bounds the frequency sweeps (hundreds of thousands of launches per
+// figure), so it must stay sub-microsecond.
+#include <benchmark/benchmark.h>
+
+#include "core/measurement.hpp"
+#include "core/workload.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using namespace dsem;
+
+void BM_DeviceLaunch(benchmark::State& state) {
+  sim::Device device(sim::v100(), sim::NoiseConfig{});
+  sim::KernelProfile kernel;
+  kernel.float_add = 128.0;
+  kernel.float_mul = 128.0;
+  kernel.global_bytes = 64.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(kernel, 1 << 20));
+  }
+}
+BENCHMARK(BM_DeviceLaunch);
+
+void BM_DeviceLaunchNoiseless(benchmark::State& state) {
+  sim::Device device(sim::v100(), sim::NoiseConfig::none());
+  sim::KernelProfile kernel;
+  kernel.float_add = 256.0;
+  kernel.global_bytes = 32.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(kernel, 4096));
+  }
+}
+BENCHMARK(BM_DeviceLaunchNoiseless);
+
+void BM_CronosWorkloadSubmit(benchmark::State& state) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig{});
+  synergy::Device device(sim_dev);
+  const core::CronosWorkload workload(
+      {static_cast<int>(state.range(0)),
+       static_cast<int>(state.range(0) * 2 / 5),
+       static_cast<int>(state.range(0) * 2 / 5)},
+      10);
+  for (auto _ : state) {
+    synergy::Queue queue(device);
+    workload.submit(queue);
+    benchmark::DoNotOptimize(queue.total_energy_j());
+  }
+}
+BENCHMARK(BM_CronosWorkloadSubmit)->Arg(40)->Arg(160);
+
+void BM_FullCharacterizationSweep(benchmark::State& state) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig{});
+  synergy::Device device(sim_dev);
+  const core::LigenWorkload workload(10000, 89, 20);
+  for (auto _ : state) {
+    const auto sweep = core::sweep_frequencies(device, workload, 1);
+    benchmark::DoNotOptimize(sweep.size());
+  }
+}
+BENCHMARK(BM_FullCharacterizationSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 1: the general-purpose model's static code features, demonstrated
+// on the extracted feature vectors of both applications' kernels and a
+// few micro-benchmarks.
+#include "bench_util.hpp"
+#include "core/features.hpp"
+#include "cronos/kernels.hpp"
+#include "ligen/kernels.hpp"
+#include "microbench/suite.hpp"
+
+int main() {
+  using namespace dsem;
+  print_banner(std::cout, "Table 1 — General-purpose model features");
+
+  Table legend({"feature", "description"});
+  legend.add_row({"int_add", "integer additions and subtractions"});
+  legend.add_row({"int_mul", "integer multiplications"});
+  legend.add_row({"int_div", "integer divisions"});
+  legend.add_row({"int_bw", "integer bitwise operations"});
+  legend.add_row({"float_add", "floating point additions and subtractions"});
+  legend.add_row({"float_mul", "floating point multiplications"});
+  legend.add_row({"float_div", "floating point divisions"});
+  legend.add_row({"sf", "special functions"});
+  legend.add_row({"gl_access", "global memory accesses"});
+  legend.add_row({"loc_access", "local memory accesses"});
+  legend.print(std::cout);
+
+  std::cout << "\nExtracted (normalized) static feature vectors:\n\n";
+  std::vector<std::string> header = {"kernel"};
+  for (const auto& name : core::static_feature_names()) {
+    header.push_back(name);
+  }
+  Table table(header);
+
+  const auto add = [&](const sim::KernelProfile& profile) {
+    std::vector<std::string> row = {profile.name};
+    for (double v : core::static_feature_vector(profile)) {
+      row.push_back(fmt(v, 4));
+    }
+    table.add_row(row);
+  };
+  add(cronos::compute_changes_profile(8));
+  add(cronos::cfl_reduce_profile());
+  add(cronos::integrate_time_profile(8));
+  add(ligen::dock_profile(89, 20, {}));
+  add(ligen::score_profile(89, {}));
+  const auto suite = microbench::make_suite();
+  for (std::size_t i : {0u, 40u, 60u, 105u}) {
+    add(suite[i].profile);
+  }
+  table.print(std::cout);
+  return 0;
+}

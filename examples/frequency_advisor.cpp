@@ -1,0 +1,128 @@
+// Frequency advisor: the paper's future-work integration — given an
+// application, an input, and an energy/performance policy, train the
+// domain-specific model on a quick input sweep and recommend a core
+// frequency (what SYnergy's per-kernel frequency selection would consume).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/dataset.hpp"
+#include "core/ds_model.hpp"
+
+namespace {
+
+using namespace dsem;
+
+std::vector<std::unique_ptr<core::Workload>> training_set(
+    const std::string& app) {
+  std::vector<std::unique_ptr<core::Workload>> out;
+  if (app == "cronos") {
+    for (int n : {10, 20, 40, 80, 120, 160}) {
+      const int side = std::max(4, n * 2 / 5);
+      out.push_back(std::make_unique<core::CronosWorkload>(
+          cronos::GridDims{n, side, side}, 10));
+    }
+  } else {
+    for (int ligands : {16, 256, 1024, 4096, 10000}) {
+      for (int atoms : {31, 63, 89}) {
+        for (int frags : {4, 8, 20}) {
+          out.push_back(
+              std::make_unique<core::LigenWorkload>(ligands, atoms, frags));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<core::Workload> parse_target(const std::string& app,
+                                             const std::string& input) {
+  // Input format: AxBxC — grid dims for cronos, atoms x frags x ligands
+  // for ligen (the paper's naming convention).
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  DSEM_ENSURE(std::sscanf(input.c_str(), "%dx%dx%d", &a, &b, &c) == 3,
+              "input must look like 120x48x48 (cronos) or 89x8x2048 (ligen)");
+  if (app == "cronos") {
+    return std::make_unique<core::CronosWorkload>(cronos::GridDims{a, b, c},
+                                                  10);
+  }
+  return std::make_unique<core::LigenWorkload>(/*ligands=*/c, /*atoms=*/a,
+                                               /*fragments=*/b);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("frequency_advisor",
+                "recommend a Pareto-optimal core frequency for an input");
+  cli.add_option("app", "cronos | ligen", "cronos");
+  cli.add_option("input",
+                 "target input: grid (cronos, e.g. 120x48x48) or "
+                 "atoms x fragments x ligands (ligen, e.g. 89x8x2048)",
+                 "120x48x48");
+  cli.add_option("max-slowdown", "acceptable performance loss, fraction",
+                 "0.03");
+  cli.add_option("device", "v100 | mi100", "v100");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  const std::string app = cli.option("app");
+  DSEM_ENSURE(app == "cronos" || app == "ligen", "unknown app: " + app);
+  const double max_slowdown = cli.option_double("max-slowdown");
+
+  sim::Device sim_dev(cli.option("device") == "mi100" ? sim::mi100()
+                                                      : sim::v100(),
+                      sim::NoiseConfig{}, 0xAD51);
+  synergy::Device device(sim_dev);
+
+  std::cout << "profiling " << app << " training sweep on " << device.name()
+            << "...\n";
+  const auto workloads = training_set(app);
+  std::vector<double> train_freqs;
+  const auto all = device.supported_frequencies();
+  for (std::size_t i = 0; i < all.size(); i += 4) {
+    train_freqs.push_back(all[i]);
+  }
+  const core::Dataset dataset =
+      core::build_dataset(device, workloads, 5, train_freqs);
+
+  core::DomainSpecificModel model;
+  model.train(dataset);
+
+  const auto target = parse_target(app, cli.option("input"));
+  const core::Prediction pred = model.predict(
+      target->domain_features(), all, device.default_frequency());
+
+  const auto front = pred.pareto_indices();
+  std::size_t pick = front.back();
+  bool found = false;
+  for (std::size_t i : front) {
+    if (1.0 - pred.speedup[i] <= max_slowdown &&
+        (!found || pred.norm_energy[i] < pred.norm_energy[pick])) {
+      pick = i;
+      found = true;
+    }
+  }
+
+  std::cout << "\ntarget " << target->name() << " on " << device.name()
+            << " (policy: <= " << fmt_percent(max_slowdown)
+            << " slowdown)\n";
+  std::cout << "recommended core frequency: " << fmt(pred.freqs_mhz[pick], 0)
+            << " MHz\n  predicted energy  " << fmt_percent(
+                   pred.norm_energy[pick] - 1.0)
+            << "\n  predicted runtime " << fmt_percent(
+                   1.0 / std::max(pred.speedup[pick], 1e-9) - 1.0)
+            << "\n";
+
+  const core::Measurement def = core::measure_default(device, *target, 5);
+  const core::Measurement at =
+      core::measure(device, *target, pred.freqs_mhz[pick], 5);
+  std::cout << "verification against measurement:\n  measured energy  "
+            << fmt_percent(at.energy_j / def.energy_j - 1.0)
+            << "\n  measured runtime " << fmt_percent(
+                   at.time_s / def.time_s - 1.0)
+            << "\n";
+  return 0;
+}

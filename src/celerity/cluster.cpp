@@ -1,0 +1,63 @@
+#include "celerity/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace dsem::celerity {
+
+double transfer_time_s(const InterconnectSpec& net, double bytes) {
+  DSEM_ENSURE(bytes >= 0.0, "negative transfer size");
+  if (bytes == 0.0) {
+    return 0.0;
+  }
+  return net.latency_us * 1e-6 + bytes / (net.bandwidth_gbs * 1e9);
+}
+
+Cluster::Cluster(const sim::DeviceSpec& spec, ClusterConfig config,
+                 sim::NoiseConfig noise, std::uint64_t seed)
+    : config_(config) {
+  DSEM_ENSURE(config.nodes >= 1, "cluster needs at least one node");
+  DSEM_ENSURE(config.network.bandwidth_gbs > 0.0,
+              "network bandwidth must be positive");
+  DSEM_ENSURE(config.network.latency_us >= 0.0,
+              "network latency must be non-negative");
+  sim_devices_.reserve(static_cast<std::size_t>(config.nodes));
+  devices_.reserve(static_cast<std::size_t>(config.nodes));
+  for (int rank = 0; rank < config.nodes; ++rank) {
+    sim_devices_.push_back(std::make_unique<sim::Device>(
+        spec, noise, seed + static_cast<std::uint64_t>(rank) * 0x9e37u));
+    devices_.push_back(
+        std::make_unique<synergy::Device>(*sim_devices_.back()));
+  }
+}
+
+synergy::Device& Cluster::device(int rank) {
+  DSEM_ENSURE(rank >= 0 && rank < size(), "rank out of range");
+  return *devices_[static_cast<std::size_t>(rank)];
+}
+
+const synergy::Device& Cluster::device(int rank) const {
+  DSEM_ENSURE(rank >= 0 && rank < size(), "rank out of range");
+  return *devices_[static_cast<std::size_t>(rank)];
+}
+
+void Cluster::set_frequency_all(double mhz) {
+  for (auto& device : devices_) {
+    device->set_frequency(mhz);
+  }
+}
+
+void Cluster::reset_frequency_all() {
+  for (auto& device : devices_) {
+    device->reset_frequency();
+  }
+}
+
+double Cluster::total_device_energy_j() const {
+  double acc = 0.0;
+  for (const auto& device : devices_) {
+    acc += device->energy_joules();
+  }
+  return acc;
+}
+
+} // namespace dsem::celerity

@@ -1,0 +1,59 @@
+// Celerity-style distributed execution substrate.
+//
+// The Cronos code of the paper was ported to SYCL for single-node runs and
+// to Celerity for distributed-memory clusters (§6). This module models the
+// cluster: N identical simulated GPUs (one per rank) behind per-rank
+// SYnergy devices, plus an interconnect cost model for halo exchanges.
+// Energy accounting is cluster-wide: device energy + NIC energy during
+// communication.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "synergy/device.hpp"
+
+namespace dsem::celerity {
+
+struct InterconnectSpec {
+  double bandwidth_gbs = 12.5; ///< per-link payload bandwidth (100 Gb/s)
+  double latency_us = 2.0;     ///< per-message latency
+  double nic_power_w = 18.0;   ///< draw while a rank communicates
+};
+
+struct ClusterConfig {
+  int nodes = 4;
+  InterconnectSpec network;
+};
+
+/// Time to move one message of `bytes` across one link.
+double transfer_time_s(const InterconnectSpec& net, double bytes);
+
+class Cluster {
+public:
+  /// Builds `config.nodes` ranks, each owning an independent simulated
+  /// device of the given spec (noise streams are per-rank seeded).
+  Cluster(const sim::DeviceSpec& spec, ClusterConfig config,
+          sim::NoiseConfig noise = {}, std::uint64_t seed = 0xC1u);
+
+  int size() const noexcept { return static_cast<int>(devices_.size()); }
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  synergy::Device& device(int rank);
+  const synergy::Device& device(int rank) const;
+
+  /// Broadcast clock control (what a cluster-wide SYnergy policy does).
+  void set_frequency_all(double mhz);
+  void reset_frequency_all();
+
+  /// Sum of all ranks' device energy counters.
+  double total_device_energy_j() const;
+
+private:
+  ClusterConfig config_;
+  // Stable addresses: devices are referenced by the synergy wrappers.
+  std::vector<std::unique_ptr<sim::Device>> sim_devices_;
+  std::vector<std::unique_ptr<synergy::Device>> devices_;
+};
+
+} // namespace dsem::celerity

@@ -1,0 +1,49 @@
+// Distributed Cronos execution over a cluster (1-D domain decomposition).
+//
+// The global grid is split into contiguous Z-slabs, one per rank; every
+// substep each rank runs the usual kernel sequence on its slab and then
+// exchanges two-cell-deep halos with its neighbours (the Celerity runtime
+// would generate exactly these transfers from the 13-point stencil's range
+// mappers). The step makespan is the slowest rank's compute plus the halo
+// exchange; cluster energy adds NIC draw during communication.
+#pragma once
+
+#include "celerity/cluster.hpp"
+#include "cronos/grid.hpp"
+
+namespace dsem::celerity {
+
+struct Partition {
+  std::vector<int> z_cells; ///< interior Z-extent per rank (sums to nz)
+
+  int ranks() const noexcept { return static_cast<int>(z_cells.size()); }
+};
+
+/// Near-even contiguous split of `nz` planes over `ranks`.
+Partition partition_z(int nz, int ranks);
+
+/// Bytes one rank sends per halo exchange (both directions, all
+/// variables, 2-deep halos; boundary ranks send one direction less).
+double halo_bytes_per_exchange(const cronos::GridDims& global, int num_vars,
+                               bool has_lower_neighbor,
+                               bool has_upper_neighbor);
+
+struct DistributedRunStats {
+  int steps = 0;
+  double makespan_s = 0.0;      ///< wall time of the whole run
+  double compute_time_s = 0.0;  ///< slowest-rank kernel time, accumulated
+  double comm_time_s = 0.0;     ///< halo-exchange time, accumulated
+  double device_energy_j = 0.0; ///< sum over ranks
+  double network_energy_j = 0.0;
+  double total_energy_j() const noexcept {
+    return device_energy_j + network_energy_j;
+  }
+};
+
+/// Runs `steps` Cronos timesteps of an MHD-sized problem (num_vars
+/// conserved variables) on the cluster, device-cost simulation only.
+DistributedRunStats run_distributed_cronos(Cluster& cluster,
+                                           const cronos::GridDims& global,
+                                           int num_vars, int steps);
+
+} // namespace dsem::celerity

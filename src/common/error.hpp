@@ -1,0 +1,54 @@
+// Contract checking and error reporting helpers.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.x) we express preconditions
+// and invariants as runtime checks that throw; hot inner loops use
+// DSEM_ASSERT which compiles out in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dsem {
+
+/// Thrown when a precondition or invariant expressed with DSEM_ENSURE fails.
+class contract_error : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract_failure(std::string_view expr,
+                                                std::string_view message,
+                                                const std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": contract violated: (" << expr << ')';
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw contract_error(os.str());
+}
+
+} // namespace detail
+
+} // namespace dsem
+
+/// Always-on contract check: throws dsem::contract_error on failure.
+#define DSEM_ENSURE(cond, msg)                                                 \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::dsem::detail::throw_contract_failure(#cond, (msg),                     \
+                                             std::source_location::current()); \
+    }                                                                          \
+  } while (false)
+
+/// Debug-only assertion for hot paths; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define DSEM_ASSERT(cond, msg) ((void)0)
+#else
+#define DSEM_ASSERT(cond, msg) DSEM_ENSURE(cond, msg)
+#endif

@@ -1,0 +1,158 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dsem::stats {
+
+double sum(std::span<const double> xs) {
+  double acc = 0.0;
+  double comp = 0.0; // Kahan compensation: benches sum thousands of samples
+  for (double x : xs) {
+    const double y = x - comp;
+    const double t = acc + y;
+    comp = (t - acc) - y;
+    acc = t;
+  }
+  return acc;
+}
+
+double mean(std::span<const double> xs) {
+  DSEM_ENSURE(!xs.empty(), "mean of empty range");
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  DSEM_ENSURE(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  DSEM_ENSURE(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  DSEM_ENSURE(!xs.empty(), "quantile of empty range");
+  DSEM_ENSURE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  DSEM_ENSURE(truth.size() == pred.size(), "mae: size mismatch");
+  DSEM_ENSURE(!truth.empty(), "mae of empty range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - pred[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  DSEM_ENSURE(truth.size() == pred.size(), "rmse: size mismatch");
+  DSEM_ENSURE(!truth.empty(), "rmse of empty range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mape(std::span<const double> truth, std::span<const double> pred,
+            double eps) {
+  DSEM_ENSURE(truth.size() == pred.size(), "mape: size mismatch");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) {
+      continue;
+    }
+    acc += std::abs((truth[i] - pred[i]) / truth[i]);
+    ++n;
+  }
+  DSEM_ENSURE(n > 0, "mape: all truth values below eps");
+  return acc / static_cast<double>(n);
+}
+
+double r2(std::span<const double> truth, std::span<const double> pred) {
+  DSEM_ENSURE(truth.size() == pred.size(), "r2: size mismatch");
+  DSEM_ENSURE(truth.size() >= 2, "r2 needs at least two samples");
+  const double m = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : -std::numeric_limits<double>::infinity();
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  DSEM_ENSURE(xs.size() == ys.size(), "pearson: size mismatch");
+  DSEM_ENSURE(xs.size() >= 2, "pearson needs at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  DSEM_ENSURE(sxx > 0.0 && syy > 0.0, "pearson: zero-variance input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+} // namespace dsem::stats

@@ -1,0 +1,61 @@
+// Descriptive statistics and regression-quality metrics shared by the
+// measurement layer (repetition averaging) and the ML evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsem::stats {
+
+double sum(std::span<const double> xs);
+double mean(std::span<const double> xs);
+
+/// Sample variance (divides by n-1); 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Mean absolute error.
+double mae(std::span<const double> truth, std::span<const double> pred);
+
+/// Root mean squared error.
+double rmse(std::span<const double> truth, std::span<const double> pred);
+
+/// Mean absolute percentage error expressed as a fraction (0.1 == 10 %).
+/// Entries with |truth| < eps are skipped to avoid division blow-up.
+double mape(std::span<const double> truth, std::span<const double> pred,
+            double eps = 1e-12);
+
+/// Coefficient of determination R^2 (1 = perfect; can be negative).
+double r2(std::span<const double> truth, std::span<const double> pred);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Running accumulator for streaming mean/variance (Welford).
+class Accumulator {
+public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept; // sample variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+} // namespace dsem::stats

@@ -1,0 +1,116 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace dsem {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DSEM_ENSURE(!header_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DSEM_ENSURE(cells.size() == header_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+} // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) {
+        os << ',';
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  return buf;
+}
+
+std::string fmt(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zu", value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+} // namespace dsem

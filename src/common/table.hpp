@@ -1,0 +1,49 @@
+// Aligned-text and CSV table emission for the benchmark harness.
+//
+// Every figure/table bench prints two renditions of the same data: a CSV
+// block (machine-readable, one per plotted series) and an aligned summary
+// (human-readable). Table collects rows as strings; formatting policy (cell
+// precision) is the caller's via fmt helpers below.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsem {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+
+  /// Render with padded, space-separated columns.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing separators).
+  void print_csv(std::ostream& os) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("%.*f").
+std::string fmt(double value, int precision = 4);
+
+/// Integer formatting.
+std::string fmt(long long value);
+std::string fmt(std::size_t value);
+
+/// Percentage with sign, e.g. +12.3 % for 0.123.
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Banner used by benches to delimit experiment sections in stdout.
+void print_banner(std::ostream& os, const std::string& title);
+
+} // namespace dsem

@@ -1,0 +1,107 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dsem {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return; // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // Aim for a few chunks per worker to smooth load imbalance.
+    const std::size_t target = pool.thread_count() * 4;
+    grain = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target));
+  }
+  if (n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n / grain + 1);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    futures.push_back(pool.submit([lo, hi, &fn] { fn(lo, hi); }));
+  }
+  // Propagate the first exception but always wait for every chunk, so the
+  // caller never returns while tasks still reference its locals.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for_chunks(
+      pool, begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      },
+      grain);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, fn, grain);
+}
+
+} // namespace dsem

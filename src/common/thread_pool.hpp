@@ -1,0 +1,128 @@
+// Task-based parallelism (Core Guidelines CP.4: think in terms of tasks).
+//
+// A fixed-size worker pool with a shared queue, plus structured
+// parallel_for / parallel_reduce helpers that block until completion so
+// callers never observe partially-applied parallel updates. Tasks must not
+// share mutable state (CP.2/CP.3); the helpers hand each task a disjoint
+// index range, which makes that property easy to uphold.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsem {
+
+class ThreadPool {
+public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future rethrows task exceptions.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      DSEM_ENSURE(!stopping_, "submit() on a stopped ThreadPool");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Singleton pool shared across the library. Sized once on first use.
+  static ThreadPool& global();
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Invoke fn(i) for each i in [begin, end), partitioned into contiguous
+/// chunks across the pool. Blocks until all iterations complete. The first
+/// exception thrown by any chunk is rethrown in the caller.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 0);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 0);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) — lets the caller hoist
+/// per-chunk setup out of the element loop.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 0);
+
+/// Parallel reduction: combines fn(i) over [begin, end) with `combine`,
+/// starting from `init`. `combine` must be associative and commutative.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T init, Map&& map_fn, Combine&& combine) {
+  if (begin >= end) {
+    return init;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t chunks =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, pool.thread_count()));
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<T>> partials;
+  partials.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) {
+      break;
+    }
+    partials.push_back(pool.submit([lo, hi, init, &map_fn, &combine] {
+      T acc = init;
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc = combine(acc, map_fn(i));
+      }
+      return acc;
+    }));
+  }
+  T acc = init;
+  for (auto& p : partials) {
+    acc = combine(acc, p.get());
+  }
+  return acc;
+}
+
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, Map&& map_fn,
+                  Combine&& combine) {
+  return parallel_reduce(ThreadPool::global(), begin, end, init,
+                         std::forward<Map>(map_fn),
+                         std::forward<Combine>(combine));
+}
+
+} // namespace dsem

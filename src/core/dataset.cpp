@@ -1,0 +1,67 @@
+#include "core/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+
+std::vector<std::size_t> Dataset::rows_of_group(int group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] == group) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int Dataset::group_of(const std::string& name) const {
+  for (std::size_t g = 0; g < group_names.size(); ++g) {
+    if (group_names[g] == name) {
+      return static_cast<int>(g);
+    }
+  }
+  DSEM_ENSURE(false, "no dataset group named " + name);
+  return -1;
+}
+
+Dataset build_dataset(synergy::Device& device,
+                      std::span<const std::unique_ptr<Workload>> workloads,
+                      int repetitions, std::span<const double> freqs) {
+  DSEM_ENSURE(!workloads.empty(), "build_dataset: no workloads");
+  std::vector<double> all_freqs;
+  if (freqs.empty()) {
+    all_freqs = device.supported_frequencies();
+    freqs = all_freqs;
+  }
+
+  const std::size_t feature_width = workloads.front()->domain_features().size();
+  Dataset ds;
+  ds.x = ml::Matrix(workloads.size() * freqs.size(), feature_width + 1);
+
+  std::size_t row = 0;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const Workload& workload = *workloads[w];
+    const std::vector<double> features = workload.domain_features();
+    DSEM_ENSURE(features.size() == feature_width,
+                "workloads disagree on feature width");
+
+    ds.group_names.push_back(workload.name());
+    ds.default_freq_mhz.push_back(device.default_frequency());
+    ds.group_default.push_back(
+        measure_default(device, workload, repetitions));
+
+    for (double f : freqs) {
+      const Measurement m = measure(device, workload, f, repetitions);
+      auto dst = ds.x.row(row);
+      std::copy(features.begin(), features.end(), dst.begin());
+      dst[feature_width] = f;
+      ds.time_s.push_back(m.time_s);
+      ds.energy_j.push_back(m.energy_j);
+      ds.groups.push_back(static_cast<int>(w));
+      ++row;
+    }
+  }
+  return ds;
+}
+
+} // namespace dsem::core

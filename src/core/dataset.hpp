@@ -1,0 +1,44 @@
+// Training datasets for the domain-specific models.
+//
+// One row per (input, frequency) pair: D = { s : s = (f⃗, c, t, e) } in the
+// paper's notation (§4.2.2). Rows carry a group id per input so
+// leave-one-input-out cross-validation can hold out all frequency samples
+// of one input together.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "ml/matrix.hpp"
+
+namespace dsem::core {
+
+struct Dataset {
+  ml::Matrix x;                ///< [domain features..., freq_mhz]
+  std::vector<double> time_s;  ///< measured execution time
+  std::vector<double> energy_j;///< measured energy
+  std::vector<int> groups;     ///< input (workload) id per row
+  std::vector<std::string> group_names;    ///< group id -> workload name
+  std::vector<Measurement> group_default;  ///< measured default baseline
+  std::vector<double> default_freq_mhz;    ///< per group
+
+  std::size_t rows() const noexcept { return time_s.size(); }
+  std::size_t num_groups() const noexcept { return group_names.size(); }
+
+  /// Row indices of one group.
+  std::vector<std::size_t> rows_of_group(int group) const;
+
+  /// Group id by workload name; throws if absent.
+  int group_of(const std::string& name) const;
+};
+
+/// Measures every workload at every frequency in `freqs` (all supported
+/// when empty), `repetitions` times each, plus the default-clock baseline.
+Dataset build_dataset(synergy::Device& device,
+                      std::span<const std::unique_ptr<Workload>> workloads,
+                      int repetitions = kDefaultRepetitions,
+                      std::span<const double> freqs = {});
+
+} // namespace dsem::core

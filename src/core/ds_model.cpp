@@ -1,0 +1,105 @@
+#include "core/ds_model.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/features.hpp"
+#include "core/pareto.hpp"
+
+namespace dsem::core {
+
+std::vector<std::size_t> Prediction::pareto_indices() const {
+  return pareto_front(speedup, norm_energy);
+}
+
+namespace {
+
+ml::ForestParams default_forest_params() {
+  ml::ForestParams params;
+  params.n_estimators = 100; // sklearn defaults, which the paper's grid
+  params.max_depth = 0;      // search found best
+  params.seed = 0x05d5;
+  return params;
+}
+
+} // namespace
+
+DomainSpecificModel::DomainSpecificModel(const ml::Regressor& prototype,
+                                         bool log_targets)
+    : time_model_(prototype.clone()), energy_model_(prototype.clone()),
+      log_targets_(log_targets) {}
+
+DomainSpecificModel::DomainSpecificModel()
+    : DomainSpecificModel(ml::RandomForestRegressor(default_forest_params())) {}
+
+void DomainSpecificModel::train(const Dataset& dataset,
+                                std::span<const std::size_t> rows) {
+  DSEM_ENSURE(dataset.rows() > 0, "training on an empty dataset");
+  std::vector<std::size_t> all;
+  if (rows.empty()) {
+    all.resize(dataset.rows());
+    std::iota(all.begin(), all.end(), 0);
+    rows = all;
+  }
+  const ml::Matrix x = dataset.x.gather_rows(rows);
+  std::vector<double> t(rows.size());
+  std::vector<double> e(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t[i] = dataset.time_s[rows[i]];
+    e[i] = dataset.energy_j[rows[i]];
+    DSEM_ENSURE(t[i] > 0.0 && e[i] > 0.0,
+                "non-positive measurement in training data");
+    if (log_targets_) {
+      t[i] = std::log(t[i]);
+      e[i] = std::log(e[i]);
+    }
+  }
+  time_model_->fit(x, t);
+  energy_model_->fit(x, e);
+  trained_ = true;
+}
+
+Prediction DomainSpecificModel::predict(std::span<const double> domain_features,
+                                        std::span<const double> freqs_mhz,
+                                        double default_freq_mhz) const {
+  DSEM_ENSURE(trained_, "predict on an untrained DomainSpecificModel");
+  DSEM_ENSURE(!freqs_mhz.empty(), "predict over an empty frequency list");
+
+  Prediction out;
+  out.freqs_mhz.assign(freqs_mhz.begin(), freqs_mhz.end());
+  out.time_s.reserve(freqs_mhz.size());
+  out.energy_j.reserve(freqs_mhz.size());
+
+  std::vector<double> row(domain_features.begin(), domain_features.end());
+  row.push_back(0.0);
+  const auto predict_pair = [&](double f) {
+    row.back() = f;
+    double t = time_model_->predict_one(row);
+    double e = energy_model_->predict_one(row);
+    if (log_targets_) {
+      t = std::exp(t);
+      e = std::exp(e);
+    }
+    return std::pair{t, e};
+  };
+  for (double f : freqs_mhz) {
+    const auto [t, e] = predict_pair(f);
+    out.time_s.push_back(t);
+    out.energy_j.push_back(e);
+  }
+
+  const auto [t_base, e_base] = predict_pair(default_freq_mhz);
+  DSEM_ENSURE(t_base > 0.0 && e_base > 0.0,
+              "non-positive predicted baseline");
+
+  out.speedup.reserve(freqs_mhz.size());
+  out.norm_energy.reserve(freqs_mhz.size());
+  for (std::size_t i = 0; i < freqs_mhz.size(); ++i) {
+    out.speedup.push_back(t_base / out.time_s[i]);
+    out.norm_energy.push_back(out.energy_j[i] / e_base);
+  }
+  return out;
+}
+
+} // namespace dsem::core

@@ -1,0 +1,64 @@
+// Domain-specific energy/time model — the paper's contribution (§4.2).
+//
+// Two regressors (Random Forest by default, per the paper's model
+// selection) map [domain features..., frequency] to raw execution time
+// and energy. At prediction time the model is evaluated over all
+// frequency configurations and the *predicted* value at the default
+// frequency serves as the baseline for speedup and normalized energy
+// (§4.2.3), from which the predicted Pareto-optimal frequency set follows.
+#pragma once
+
+#include <memory>
+
+#include "core/dataset.hpp"
+#include "ml/forest.hpp"
+
+namespace dsem::core {
+
+/// A model's view of one workload across the frequency schedule.
+struct Prediction {
+  std::vector<double> freqs_mhz;
+  std::vector<double> time_s;      ///< empty for models predicting ratios only
+  std::vector<double> energy_j;    ///< empty for models predicting ratios only
+  std::vector<double> speedup;
+  std::vector<double> norm_energy;
+
+  /// Indices of the predicted Pareto-optimal frequency configurations.
+  std::vector<std::size_t> pareto_indices() const;
+};
+
+class DomainSpecificModel {
+public:
+  /// Uses clones of `prototype` for the time and energy regressors.
+  /// With `log_targets` (default), the regressors fit log(time)/log(energy):
+  /// tree-ensemble blending then averages *shapes* geometrically, so input
+  /// magnitude differences cancel exactly in the predicted speedup and
+  /// normalized-energy ratios (see bench/ablation_log_targets).
+  explicit DomainSpecificModel(const ml::Regressor& prototype,
+                               bool log_targets = true);
+
+  /// Paper default: Random Forest with library-default hyperparameters.
+  DomainSpecificModel();
+
+  /// Trains on dataset rows selected by `rows` (all rows when empty).
+  void train(const Dataset& dataset, std::span<const std::size_t> rows = {});
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Predicts the full curve for one input across `freqs`, with speedup /
+  /// normalized energy baselined on the prediction at `default_freq_mhz`.
+  Prediction predict(std::span<const double> domain_features,
+                     std::span<const double> freqs_mhz,
+                     double default_freq_mhz) const;
+
+  const ml::Regressor& time_model() const { return *time_model_; }
+  const ml::Regressor& energy_model() const { return *energy_model_; }
+
+private:
+  std::unique_ptr<ml::Regressor> time_model_;
+  std::unique_ptr<ml::Regressor> energy_model_;
+  bool log_targets_ = true;
+  bool trained_ = false;
+};
+
+} // namespace dsem::core

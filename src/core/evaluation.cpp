@@ -1,0 +1,145 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace dsem::core {
+
+double AccuracyReport::worst_speedup_gain() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& r : rows) {
+    worst = std::min(worst, r.gp_speedup_mape / std::max(r.ds_speedup_mape, 1e-12));
+  }
+  return worst;
+}
+
+double AccuracyReport::worst_energy_gain() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& r : rows) {
+    worst = std::min(worst, r.gp_energy_mape / std::max(r.ds_energy_mape, 1e-12));
+  }
+  return worst;
+}
+
+TruthCurves truth_curves(const Dataset& dataset, int group) {
+  const auto rows = dataset.rows_of_group(group);
+  DSEM_ENSURE(!rows.empty(), "group has no rows");
+  const Measurement base =
+      dataset.group_default[static_cast<std::size_t>(group)];
+  DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
+              "degenerate group baseline");
+
+  TruthCurves out;
+  const std::size_t freq_col = dataset.x.cols() - 1;
+  for (std::size_t r : rows) {
+    out.freqs_mhz.push_back(dataset.x(r, freq_col));
+    out.time_s.push_back(dataset.time_s[r]);
+    out.energy_j.push_back(dataset.energy_j[r]);
+    out.speedup.push_back(base.time_s / dataset.time_s[r]);
+    out.norm_energy.push_back(dataset.energy_j[r] / base.energy_j);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::size_t> training_rows_excluding(const Dataset& dataset,
+                                                 int held_out) {
+  std::vector<std::size_t> rows;
+  rows.reserve(dataset.rows());
+  for (std::size_t i = 0; i < dataset.groups.size(); ++i) {
+    if (dataset.groups[i] != held_out) {
+      rows.push_back(i);
+    }
+  }
+  DSEM_ENSURE(!rows.empty(), "LOOCV fold has no training rows");
+  return rows;
+}
+
+DomainSpecificModel make_ds_model(const ml::Regressor* prototype) {
+  return prototype ? DomainSpecificModel(*prototype) : DomainSpecificModel();
+}
+
+} // namespace
+
+AccuracyReport evaluate_accuracy(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const GeneralPurposeModel& gp, std::span<const std::string> report,
+    const ml::Regressor* ds_prototype) {
+  DSEM_ENSURE(workloads.size() == dataset.num_groups(),
+              "workload list does not match dataset groups");
+
+  std::vector<std::string> all_names;
+  if (report.empty()) {
+    all_names = dataset.group_names;
+    report = all_names;
+  }
+
+  AccuracyReport out;
+  for (const std::string& name : report) {
+    const int g = dataset.group_of(name);
+    const auto ug = static_cast<std::size_t>(g);
+    const Workload& workload = *workloads[ug];
+    const TruthCurves truth = truth_curves(dataset, g);
+
+    DomainSpecificModel ds = make_ds_model(ds_prototype);
+    ds.train(dataset, training_rows_excluding(dataset, g));
+    const Prediction ds_pred =
+        ds.predict(workload.domain_features(), truth.freqs_mhz,
+                   dataset.default_freq_mhz[ug]);
+    const Prediction gp_pred =
+        gp.predict(workload.aggregate_profile(), truth.freqs_mhz,
+                   dataset.default_freq_mhz[ug]);
+
+    AccuracyRow row;
+    row.input = name;
+    row.ds_speedup_mape = stats::mape(truth.speedup, ds_pred.speedup);
+    row.ds_energy_mape = stats::mape(truth.norm_energy, ds_pred.norm_energy);
+    row.gp_speedup_mape = stats::mape(truth.speedup, gp_pred.speedup);
+    row.gp_energy_mape = stats::mape(truth.norm_energy, gp_pred.norm_energy);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+ParetoEvaluation evaluate_pareto(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const std::string& target_input, const GeneralPurposeModel& gp,
+    const ml::Regressor* ds_prototype) {
+  DSEM_ENSURE(workloads.size() == dataset.num_groups(),
+              "workload list does not match dataset groups");
+  const int g = dataset.group_of(target_input);
+  const auto ug = static_cast<std::size_t>(g);
+  const Workload& workload = *workloads[ug];
+
+  ParetoEvaluation out;
+  out.truth = truth_curves(dataset, g);
+  out.true_front = pareto_front(out.truth.speedup, out.truth.norm_energy);
+
+  DomainSpecificModel ds = make_ds_model(ds_prototype);
+  ds.train(dataset, training_rows_excluding(dataset, g));
+  const Prediction ds_pred =
+      ds.predict(workload.domain_features(), out.truth.freqs_mhz,
+                 dataset.default_freq_mhz[ug]);
+  const Prediction gp_pred =
+      gp.predict(workload.aggregate_profile(), out.truth.freqs_mhz,
+                 dataset.default_freq_mhz[ug]);
+
+  // Predicted Pareto frequency sets come from the *predicted* objectives;
+  // they are then judged at the *measured* objectives those frequencies
+  // actually achieve (§5.2.2).
+  out.ds_front = ds_pred.pareto_indices();
+  out.gp_front = gp_pred.pareto_indices();
+  out.ds_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
+                              out.true_front, out.ds_front);
+  out.gp_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
+                              out.true_front, out.gp_front);
+  return out;
+}
+
+} // namespace dsem::core

@@ -1,0 +1,78 @@
+// Model-accuracy evaluation — the paper's §5.2 methodology.
+//
+// Fig. 13: leave-one-input-out cross-validation of the domain-specific
+// models against the general-purpose baseline: for every held-out input,
+// both models predict the speedup and normalized-energy curves over all
+// frequencies and the MAPE against the measured curves is reported.
+//
+// Fig. 14: both models' predicted Pareto-optimal frequency sets for one
+// input, evaluated at the *measured* objectives those frequencies achieve
+// (the values one would obtain actually running the application there),
+// compared against the true Pareto set.
+#pragma once
+
+#include "core/characterization.hpp"
+#include "core/dataset.hpp"
+#include "core/ds_model.hpp"
+#include "core/gp_model.hpp"
+
+namespace dsem::core {
+
+struct AccuracyRow {
+  std::string input;
+  double gp_speedup_mape = 0.0;
+  double ds_speedup_mape = 0.0;
+  double gp_energy_mape = 0.0;
+  double ds_energy_mape = 0.0;
+};
+
+struct AccuracyReport {
+  std::vector<AccuracyRow> rows;
+
+  /// min over rows of (gp_mape / ds_mape) for each objective — the
+  /// paper's ">= 10x more accurate" claim is about this ratio.
+  double worst_speedup_gain() const;
+  double worst_energy_gain() const;
+};
+
+/// Ground-truth speedup / normalized-energy curves of one dataset group,
+/// derived from its measured rows and default baseline.
+struct TruthCurves {
+  std::vector<double> freqs_mhz;
+  std::vector<double> speedup;
+  std::vector<double> norm_energy;
+  std::vector<double> time_s;
+  std::vector<double> energy_j;
+};
+TruthCurves truth_curves(const Dataset& dataset, int group);
+
+/// Leave-one-input-out evaluation over the dataset's groups.
+/// `workloads` must be the same list (same order) build_dataset consumed;
+/// `report` selects which inputs appear in the output (empty = all).
+/// `ds_prototype` is cloned per fold (null = Random Forest default).
+AccuracyReport evaluate_accuracy(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const GeneralPurposeModel& gp,
+    std::span<const std::string> report = {},
+    const ml::Regressor* ds_prototype = nullptr);
+
+struct ParetoEvaluation {
+  TruthCurves truth;
+  std::vector<std::size_t> true_front;
+  std::vector<std::size_t> gp_front; ///< indices into truth arrays
+  std::vector<std::size_t> ds_front;
+  ParetoComparison gp_cmp;
+  ParetoComparison ds_cmp;
+};
+
+/// Fig. 14 for one target input: models trained without it (DS) / on the
+/// micro-benchmarks (GP) predict Pareto-optimal frequencies; the returned
+/// fronts are evaluated at measured objectives.
+ParetoEvaluation evaluate_pareto(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const std::string& target_input, const GeneralPurposeModel& gp,
+    const ml::Regressor* ds_prototype = nullptr);
+
+} // namespace dsem::core

@@ -1,0 +1,36 @@
+#include "core/features.hpp"
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+
+std::vector<double> static_feature_vector(const sim::KernelProfile& profile) {
+  const auto raw = profile.static_features();
+  double total = 0.0;
+  for (double v : raw) {
+    total += v;
+  }
+  DSEM_ENSURE(total > 0.0, "static features of a zero-work profile");
+  std::vector<double> out(raw.begin(), raw.end());
+  for (double& v : out) {
+    v /= total;
+  }
+  return out;
+}
+
+std::vector<std::string> static_feature_names() {
+  std::vector<std::string> names;
+  names.reserve(sim::kNumStaticFeatures);
+  for (const char* n : sim::kStaticFeatureNames) {
+    names.emplace_back(n);
+  }
+  return names;
+}
+
+std::vector<double> with_frequency(std::vector<double> features,
+                                   double freq_mhz) {
+  features.push_back(freq_mhz);
+  return features;
+}
+
+} // namespace dsem::core

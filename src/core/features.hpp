@@ -1,0 +1,34 @@
+// Feature engineering for the two model families.
+//
+// General-purpose (Table 1): the kernel's static instruction mix —
+// normalized to fractions of total operations so micro-benchmarks and
+// applications live in the same feature space regardless of per-item
+// magnitude. By construction these carry *no input-size information*,
+// which is the deficiency the paper demonstrates.
+//
+// Domain-specific (Table 2): the application's input parameters, taken
+// verbatim from the workload (grid_x/y/z for Cronos; ligands, fragments,
+// atoms for LiGen).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel_profile.hpp"
+
+namespace dsem::core {
+
+/// Normalized static feature vector (Table 1 order): each of the 10
+/// features divided by the sum of all 10 (memory features counted as
+/// 4-byte accesses). Zero-work profiles are rejected.
+std::vector<double> static_feature_vector(const sim::KernelProfile& profile);
+
+/// Table 1 feature names, matching static_feature_vector's order.
+std::vector<std::string> static_feature_names();
+
+/// Appends `value` to a copy of `features` (the frequency column every
+/// model row carries).
+std::vector<double> with_frequency(std::vector<double> features,
+                                   double freq_mhz);
+
+} // namespace dsem::core

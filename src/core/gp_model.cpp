@@ -1,0 +1,114 @@
+#include "core/gp_model.hpp"
+
+#include "common/error.hpp"
+#include "core/features.hpp"
+
+namespace dsem::core {
+
+namespace {
+
+ml::ForestParams default_forest_params() {
+  ml::ForestParams params;
+  params.n_estimators = 100;
+  params.max_depth = 0;
+  params.seed = 0x69e0;
+  return params;
+}
+
+} // namespace
+
+GeneralPurposeModel::GeneralPurposeModel(const ml::Regressor& prototype)
+    : speedup_model_(prototype.clone()), energy_model_(prototype.clone()) {}
+
+GeneralPurposeModel::GeneralPurposeModel()
+    : GeneralPurposeModel(ml::RandomForestRegressor(default_forest_params())) {}
+
+void GeneralPurposeModel::train(
+    synergy::Device& device,
+    std::span<const microbench::MicroBenchmark> suite, int repetitions,
+    std::size_t freq_stride) {
+  DSEM_ENSURE(!suite.empty(), "training on an empty micro-benchmark suite");
+  DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
+  DSEM_ENSURE(freq_stride >= 1, "freq_stride must be >= 1");
+
+  const std::vector<double> all_freqs = device.supported_frequencies();
+  std::vector<double> freqs;
+  for (std::size_t i = 0; i < all_freqs.size(); i += freq_stride) {
+    freqs.push_back(all_freqs[i]);
+  }
+
+  const auto run = [&](const microbench::MicroBenchmark& mb) {
+    double time = 0.0;
+    double energy = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+      queue.submit({mb.profile, mb.work_items, {}});
+      time += queue.total_time_s();
+      energy += queue.total_energy_j();
+    }
+    return std::pair{time / repetitions, energy / repetitions};
+  };
+
+  ml::Matrix x(suite.size() * freqs.size(), sim::kNumStaticFeatures + 1);
+  std::vector<double> y_speedup;
+  std::vector<double> y_energy;
+  y_speedup.reserve(suite.size() * freqs.size());
+  y_energy.reserve(suite.size() * freqs.size());
+
+  std::size_t row = 0;
+  for (const microbench::MicroBenchmark& mb : suite) {
+    device.reset_frequency();
+    const auto [t_base, e_base] = run(mb);
+    DSEM_ENSURE(t_base > 0.0 && e_base > 0.0, "degenerate baseline");
+    const std::vector<double> features = static_feature_vector(mb.profile);
+
+    for (double f : freqs) {
+      device.set_frequency(f);
+      const auto [t, e] = run(mb);
+      auto dst = x.row(row);
+      std::copy(features.begin(), features.end(), dst.begin());
+      dst[sim::kNumStaticFeatures] = f;
+      y_speedup.push_back(t_base / t);
+      y_energy.push_back(e / e_base);
+      ++row;
+    }
+  }
+  device.reset_frequency();
+
+  speedup_model_->fit(x, y_speedup);
+  energy_model_->fit(x, y_energy);
+  training_rows_ = row;
+  trained_ = true;
+}
+
+Prediction GeneralPurposeModel::predict(const sim::KernelProfile& profile,
+                                        std::span<const double> freqs_mhz,
+                                        double default_freq_mhz) const {
+  DSEM_ENSURE(trained_, "predict on an untrained GeneralPurposeModel");
+  DSEM_ENSURE(!freqs_mhz.empty(), "predict over an empty frequency list");
+
+  Prediction out;
+  out.freqs_mhz.assign(freqs_mhz.begin(), freqs_mhz.end());
+  std::vector<double> row = static_feature_vector(profile);
+  row.push_back(0.0);
+
+  // Normalize against the model's own output at the default frequency so
+  // the predicted curve satisfies speedup(default) = norm_energy(default)
+  // = 1 exactly, like the measured curves do.
+  row.back() = default_freq_mhz;
+  const double s_base = speedup_model_->predict_one(row);
+  const double e_base = energy_model_->predict_one(row);
+  DSEM_ENSURE(s_base > 0.0 && e_base > 0.0,
+              "non-positive predicted baseline");
+
+  out.speedup.reserve(freqs_mhz.size());
+  out.norm_energy.reserve(freqs_mhz.size());
+  for (double f : freqs_mhz) {
+    row.back() = f;
+    out.speedup.push_back(speedup_model_->predict_one(row) / s_base);
+    out.norm_energy.push_back(energy_model_->predict_one(row) / e_base);
+  }
+  return out;
+}
+
+} // namespace dsem::core

@@ -1,0 +1,44 @@
+// Per-kernel frequency planning — the paper's §7 future work, realized.
+//
+// A whole-application frequency is a compromise: Cronos' computeChanges is
+// memory-bound (happy to down-clock) while integrateTime's share of launch
+// overhead differs, and LiGen's dock is compute-bound while score is not.
+// The planner characterizes each distinct kernel of a workload separately
+// across the frequency schedule and picks, per kernel, the energy-minimal
+// frequency whose kernel-level slowdown stays within the budget. The
+// resulting plan feeds synergy::Queue::set_kernel_frequency_plan, which
+// retargets the clock before each launch (switch penalties included by
+// the device model).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/measurement.hpp"
+
+namespace dsem::core {
+
+struct KernelPlan {
+  std::map<std::string, double> freq_by_kernel; ///< kernel name -> MHz
+  /// Predicted per-kernel energy saving (fraction) used when planning.
+  std::map<std::string, double> predicted_saving;
+};
+
+/// Builds a per-kernel plan for `workload` on `device`: for every distinct
+/// kernel in the workload's submission stream, sweep the schedule (every
+/// `freq_stride`-th frequency) and keep the energy-minimal configuration
+/// with kernel slowdown <= max_slowdown vs the default clock.
+KernelPlan plan_kernel_frequencies(synergy::Device& device,
+                                   const Workload& workload,
+                                   double max_slowdown,
+                                   int repetitions = kDefaultRepetitions,
+                                   std::size_t freq_stride = 4);
+
+/// Measures the workload with the plan applied (per-kernel retargeting,
+/// switch penalties included).
+Measurement measure_with_plan(synergy::Device& device,
+                              const Workload& workload,
+                              const KernelPlan& plan,
+                              int repetitions = kDefaultRepetitions);
+
+} // namespace dsem::core

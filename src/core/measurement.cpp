@@ -1,0 +1,62 @@
+#include "core/measurement.hpp"
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+
+namespace {
+
+Measurement run_once(synergy::Device& device, const Workload& workload) {
+  synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+  workload.submit(queue);
+  return Measurement{queue.total_time_s(), queue.total_energy_j()};
+}
+
+Measurement run_repeated(synergy::Device& device, const Workload& workload,
+                         int repetitions) {
+  DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
+  Measurement acc;
+  for (int r = 0; r < repetitions; ++r) {
+    const Measurement m = run_once(device, workload);
+    acc.time_s += m.time_s;
+    acc.energy_j += m.energy_j;
+  }
+  acc.time_s /= repetitions;
+  acc.energy_j /= repetitions;
+  return acc;
+}
+
+} // namespace
+
+Measurement measure(synergy::Device& device, const Workload& workload,
+                    double freq_mhz, int repetitions) {
+  device.set_frequency(freq_mhz);
+  const Measurement m = run_repeated(device, workload, repetitions);
+  device.reset_frequency();
+  return m;
+}
+
+Measurement measure_default(synergy::Device& device, const Workload& workload,
+                            int repetitions) {
+  device.reset_frequency();
+  return run_repeated(device, workload, repetitions);
+}
+
+std::vector<SweepPoint> sweep_frequencies(synergy::Device& device,
+                                          const Workload& workload,
+                                          int repetitions,
+                                          std::span<const double> freqs) {
+  std::vector<double> all;
+  if (freqs.empty()) {
+    all = device.supported_frequencies();
+    freqs = all;
+  }
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(freqs.size());
+  for (double f : freqs) {
+    sweep.push_back({f, measure(device, workload, f, repetitions)});
+  }
+  return sweep;
+}
+
+} // namespace dsem::core

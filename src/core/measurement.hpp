@@ -1,0 +1,44 @@
+// Time/energy measurement of workloads over frequency configurations.
+//
+// Mirrors the paper's experimental setup (§5.1): each configuration is
+// executed and profiled through the SYnergy layer, repeated `repetitions`
+// times (5 in the paper) and averaged to damp measurement noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "synergy/device.hpp"
+
+namespace dsem::core {
+
+struct Measurement {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+inline constexpr int kDefaultRepetitions = 5;
+
+/// Runs `workload` with the core clock pinned at `freq_mhz`, averaging
+/// `repetitions` runs. Restores the device default clock afterwards.
+Measurement measure(synergy::Device& device, const Workload& workload,
+                    double freq_mhz, int repetitions = kDefaultRepetitions);
+
+/// Same, at the device's default/auto clocking.
+Measurement measure_default(synergy::Device& device, const Workload& workload,
+                            int repetitions = kDefaultRepetitions);
+
+struct SweepPoint {
+  double freq_mhz = 0.0;
+  Measurement m;
+};
+
+/// Measures the workload at every frequency in `freqs` (all supported
+/// frequencies when empty), plus nothing else — callers pair this with
+/// measure_default for baselines.
+std::vector<SweepPoint> sweep_frequencies(
+    synergy::Device& device, const Workload& workload,
+    int repetitions = kDefaultRepetitions, std::span<const double> freqs = {});
+
+} // namespace dsem::core

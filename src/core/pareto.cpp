@@ -1,0 +1,91 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+
+std::vector<std::size_t> pareto_front(std::span<const double> speedup,
+                                      std::span<const double> energy) {
+  DSEM_ENSURE(speedup.size() == energy.size(), "objective size mismatch");
+  DSEM_ENSURE(!speedup.empty(), "pareto_front of empty set");
+
+  std::vector<std::size_t> order(speedup.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Descending speedup; ties broken by ascending energy so the best of a
+  // tie group is seen first.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (speedup[a] != speedup[b]) {
+      return speedup[a] > speedup[b];
+    }
+    return energy[a] < energy[b];
+  });
+
+  // Scanning in descending speedup, a point is non-dominated iff its
+  // energy is strictly below everything at least as fast seen so far.
+  std::vector<std::size_t> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    if (energy[idx] < best_energy) {
+      front.push_back(idx);
+      best_energy = energy[idx];
+    }
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+    return speedup[a] < speedup[b];
+  });
+  return front;
+}
+
+bool is_dominated(double s, double e, std::span<const double> front_speedup,
+                  std::span<const double> front_energy) {
+  DSEM_ENSURE(front_speedup.size() == front_energy.size(),
+              "front size mismatch");
+  for (std::size_t i = 0; i < front_speedup.size(); ++i) {
+    const bool geq = front_speedup[i] >= s && front_energy[i] <= e;
+    const bool strict = front_speedup[i] > s || front_energy[i] < e;
+    if (geq && strict) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ParetoComparison compare_pareto(std::span<const double> speedup,
+                                std::span<const double> energy,
+                                std::span<const std::size_t> true_front,
+                                std::span<const std::size_t> predicted) {
+  DSEM_ENSURE(speedup.size() == energy.size(), "objective size mismatch");
+  ParetoComparison out;
+  out.true_size = true_front.size();
+  out.predicted_size = predicted.size();
+  if (predicted.empty()) {
+    return out;
+  }
+
+  double distance_acc = 0.0;
+  for (std::size_t p : predicted) {
+    DSEM_ENSURE(p < speedup.size(), "predicted index out of range");
+    const bool match =
+        std::find(true_front.begin(), true_front.end(), p) != true_front.end();
+    if (match) {
+      ++out.exact_matches;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t t : true_front) {
+      const double ds = speedup[p] - speedup[t];
+      const double de = energy[p] - energy[t];
+      best = std::min(best, std::sqrt(ds * ds + de * de));
+    }
+    distance_acc += best;
+  }
+  out.generational_distance =
+      distance_acc / static_cast<double>(predicted.size());
+  return out;
+}
+
+} // namespace dsem::core

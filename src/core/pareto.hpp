@@ -1,0 +1,38 @@
+// Pareto-front extraction and front-quality metrics for the bi-objective
+// (speedup: maximize, normalized energy: minimize) space of the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsem::core {
+
+/// Indices of the non-dominated points of (speedup[i], energy[i]), where a
+/// point dominates another if it has >= speedup and <= energy with at
+/// least one strict inequality. Returned sorted by ascending speedup.
+std::vector<std::size_t> pareto_front(std::span<const double> speedup,
+                                      std::span<const double> energy);
+
+/// True iff point (s, e) is dominated by any point in the front arrays.
+bool is_dominated(double s, double e, std::span<const double> front_speedup,
+                  std::span<const double> front_energy);
+
+/// How well a *predicted* Pareto frequency set approximates the true one
+/// (§5.2.2): exact frequency matches, plus the generational distance of
+/// the predicted points' *actual measured* objectives to the true front.
+struct ParetoComparison {
+  std::size_t true_size = 0;      ///< |true Pareto set|
+  std::size_t predicted_size = 0; ///< |predicted Pareto set|
+  std::size_t exact_matches = 0;  ///< predicted freqs that are truly optimal
+  double generational_distance = 0.0; ///< mean nearest-true-point distance
+};
+
+/// `true_front` / `predicted` index into the same (speedup, energy) value
+/// arrays: the measured objectives at every frequency.
+ParetoComparison compare_pareto(std::span<const double> speedup,
+                                std::span<const double> energy,
+                                std::span<const std::size_t> true_front,
+                                std::span<const std::size_t> predicted);
+
+} // namespace dsem::core

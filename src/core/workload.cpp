@@ -1,0 +1,91 @@
+#include "core/workload.hpp"
+
+#include "common/error.hpp"
+#include "cronos/kernels.hpp"
+#include "cronos/solver.hpp"
+#include "ligen/kernels.hpp"
+
+namespace dsem::core {
+
+CronosWorkload::CronosWorkload(cronos::GridDims dims, int steps, int num_vars)
+    : dims_(dims), steps_(steps), num_vars_(num_vars) {
+  DSEM_ENSURE(steps >= 1, "CronosWorkload needs at least one step");
+  DSEM_ENSURE(num_vars >= 1 && num_vars <= cronos::kMaxVars,
+              "unsupported variable count");
+}
+
+std::vector<double> CronosWorkload::domain_features() const {
+  return {static_cast<double>(dims_.nx), static_cast<double>(dims_.ny),
+          static_cast<double>(dims_.nz)};
+}
+
+std::vector<std::string> CronosWorkload::feature_names() const {
+  return {"grid_x", "grid_y", "grid_z"};
+}
+
+void CronosWorkload::submit(synergy::Queue& queue) const {
+  cronos::submit_step_kernels(queue, dims_, num_vars_, steps_);
+}
+
+sim::KernelProfile CronosWorkload::aggregate_profile() const {
+  const std::size_t cells = dims_.cell_count();
+  const std::size_t ghosts = cronos::ghost_cell_count(dims_);
+  // Work-item-weighted per-item average over one step's kernel launches
+  // (the step structure is identical across steps, so one step suffices).
+  sim::KernelProfile agg;
+  agg.name = "cronos::aggregate";
+  double items = 0.0;
+  const auto add = [&](const sim::KernelProfile& p, std::size_t w) {
+    agg.accumulate(p.scaled(static_cast<double>(w)));
+    items += static_cast<double>(w);
+  };
+  add(cronos::compute_changes_profile(num_vars_), cells);
+  add(cronos::cfl_reduce_profile(), cells);
+  add(cronos::integrate_time_profile(num_vars_), cells);
+  add(cronos::apply_boundary_profile(num_vars_), ghosts);
+  return agg.scaled(1.0 / items);
+}
+
+LigenWorkload::LigenWorkload(int ligands, int atoms, int fragments,
+                             ligen::DockingParams params,
+                             std::size_t batch_size)
+    : ligands_(ligands), atoms_(atoms), fragments_(fragments),
+      params_(params), batch_size_(batch_size) {
+  DSEM_ENSURE(ligands >= 1, "LigenWorkload needs at least one ligand");
+  DSEM_ENSURE(atoms >= 2, "ligands need at least two atoms");
+  DSEM_ENSURE(fragments >= 1, "ligands have at least one fragment");
+  ligen::validate(params_);
+  DSEM_ENSURE(batch_size >= 1, "batch size must be >= 1");
+}
+
+std::string LigenWorkload::name() const {
+  // Paper convention: atoms x fragments x ligands.
+  return std::to_string(atoms_) + "x" + std::to_string(fragments_) + "x" +
+         std::to_string(ligands_);
+}
+
+std::vector<double> LigenWorkload::domain_features() const {
+  return {static_cast<double>(ligands_), static_cast<double>(fragments_),
+          static_cast<double>(atoms_)};
+}
+
+std::vector<std::string> LigenWorkload::feature_names() const {
+  return {"ligands", "fragments", "atoms"};
+}
+
+void LigenWorkload::submit(synergy::Queue& queue) const {
+  ligen::submit_screening_kernels(queue,
+                                  static_cast<std::size_t>(ligands_), atoms_,
+                                  fragments_, params_, batch_size_);
+}
+
+sim::KernelProfile LigenWorkload::aggregate_profile() const {
+  sim::KernelProfile agg;
+  agg.name = "ligen::aggregate";
+  // Dock and score kernels both run once per ligand.
+  agg.accumulate(ligen::dock_profile(atoms_, fragments_, params_));
+  agg.accumulate(ligen::score_profile(atoms_, params_));
+  return agg.scaled(0.5);
+}
+
+} // namespace dsem::core

@@ -1,0 +1,193 @@
+#include "cronos/law.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::cronos {
+
+void ConservationLaw::validate_state(std::span<const double> u) const {
+  for (double v : u) {
+    DSEM_ENSURE(std::isfinite(v), "non-finite state in " + name());
+  }
+}
+
+void ConservationLaw::reflect(Axis /*axis*/, std::span<double> /*u*/) const {}
+
+// --- Advection ---------------------------------------------------------------
+
+AdvectionLaw::AdvectionLaw(std::array<double, 3> velocity)
+    : velocity_(velocity) {}
+
+void AdvectionLaw::flux(Axis axis, std::span<const double> u,
+                        std::span<double> out) const {
+  out[0] = velocity_[static_cast<std::size_t>(axis)] * u[0];
+}
+
+double AdvectionLaw::max_wavespeed(Axis axis,
+                                   std::span<const double> /*u*/) const {
+  return std::abs(velocity_[static_cast<std::size_t>(axis)]);
+}
+
+// --- Burgers -----------------------------------------------------------------
+
+void BurgersLaw::flux(Axis /*axis*/, std::span<const double> u,
+                      std::span<double> out) const {
+  out[0] = 0.5 * u[0] * u[0];
+}
+
+double BurgersLaw::max_wavespeed(Axis /*axis*/,
+                                 std::span<const double> u) const {
+  return std::abs(u[0]);
+}
+
+// --- Euler -------------------------------------------------------------------
+
+namespace {
+constexpr double kDensityFloor = 1e-12;
+} // namespace
+
+EulerLaw::EulerLaw(double gamma) : gamma_(gamma) {
+  DSEM_ENSURE(gamma > 1.0, "Euler gamma must exceed 1");
+}
+
+double EulerLaw::pressure(std::span<const double> u) const {
+  const double rho = u[0];
+  const double kinetic =
+      0.5 * (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+  return (gamma_ - 1.0) * (u[4] - kinetic);
+}
+
+double EulerLaw::sound_speed(std::span<const double> u) const {
+  return std::sqrt(gamma_ * std::max(pressure(u), 0.0) /
+                   std::max(u[0], kDensityFloor));
+}
+
+void EulerLaw::flux(Axis axis, std::span<const double> u,
+                    std::span<double> out) const {
+  const auto d = static_cast<std::size_t>(axis);
+  const double rho = std::max(u[0], kDensityFloor);
+  const double vd = u[1 + d] / rho;
+  const double p = pressure(u);
+  out[0] = u[1 + d];
+  out[1] = u[1] * vd;
+  out[2] = u[2] * vd;
+  out[3] = u[3] * vd;
+  out[1 + d] += p;
+  out[4] = (u[4] + p) * vd;
+}
+
+double EulerLaw::max_wavespeed(Axis axis, std::span<const double> u) const {
+  const auto d = static_cast<std::size_t>(axis);
+  const double rho = std::max(u[0], kDensityFloor);
+  return std::abs(u[1 + d] / rho) + sound_speed(u);
+}
+
+void EulerLaw::validate_state(std::span<const double> u) const {
+  ConservationLaw::validate_state(u);
+  DSEM_ENSURE(u[0] > 0.0, "Euler: non-positive density");
+  DSEM_ENSURE(pressure(u) > 0.0, "Euler: non-positive pressure");
+}
+
+void EulerLaw::reflect(Axis axis, std::span<double> u) const {
+  u[1 + static_cast<std::size_t>(axis)] *= -1.0;
+}
+
+std::array<double, 5> EulerLaw::conserved(double rho,
+                                          std::array<double, 3> vel,
+                                          double pressure, double gamma) {
+  const double kinetic =
+      0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+  return {rho, rho * vel[0], rho * vel[1], rho * vel[2],
+          pressure / (gamma - 1.0) + kinetic};
+}
+
+// --- Ideal MHD ----------------------------------------------------------------
+
+IdealMhdLaw::IdealMhdLaw(double gamma) : gamma_(gamma) {
+  DSEM_ENSURE(gamma > 1.0, "MHD gamma must exceed 1");
+}
+
+double IdealMhdLaw::gas_pressure(std::span<const double> u) const {
+  const double rho = std::max(u[0], kDensityFloor);
+  const double kinetic =
+      0.5 * (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+  const double magnetic =
+      0.5 * (u[5] * u[5] + u[6] * u[6] + u[7] * u[7]);
+  return (gamma_ - 1.0) * (u[4] - kinetic - magnetic);
+}
+
+void IdealMhdLaw::flux(Axis axis, std::span<const double> u,
+                       std::span<double> out) const {
+  const auto d = static_cast<std::size_t>(axis);
+  const double rho = std::max(u[0], kDensityFloor);
+  const std::array<double, 3> v = {u[1] / rho, u[2] / rho, u[3] / rho};
+  const std::array<double, 3> b = {u[5], u[6], u[7]};
+  const double p_gas = gas_pressure(u);
+  const double b_sq = b[0] * b[0] + b[1] * b[1] + b[2] * b[2];
+  const double p_total = p_gas + 0.5 * b_sq;
+  const double vb = v[0] * b[0] + v[1] * b[1] + v[2] * b[2];
+  const double vd = v[d];
+  const double bd = b[d];
+
+  out[0] = u[1 + d];
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[1 + i] = u[1 + i] * vd - bd * b[i];
+  }
+  out[1 + d] += p_total;
+  out[4] = (u[4] + p_total) * vd - bd * vb;
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[5 + i] = b[i] * vd - bd * v[i];
+  }
+  out[5 + d] = 0.0; // B_d is advected by the transverse terms only
+}
+
+double IdealMhdLaw::fast_speed(Axis axis, std::span<const double> u) const {
+  const auto d = static_cast<std::size_t>(axis);
+  const double rho = std::max(u[0], kDensityFloor);
+  const double a_sq = gamma_ * std::max(gas_pressure(u), 0.0) / rho;
+  const double b_sq = (u[5] * u[5] + u[6] * u[6] + u[7] * u[7]) / rho;
+  const double bd_sq = u[5 + d] * u[5 + d] / rho;
+  const double sum = a_sq + b_sq;
+  const double disc =
+      std::max(sum * sum - 4.0 * a_sq * bd_sq, 0.0);
+  return std::sqrt(0.5 * (sum + std::sqrt(disc)));
+}
+
+double IdealMhdLaw::max_wavespeed(Axis axis, std::span<const double> u) const {
+  const auto d = static_cast<std::size_t>(axis);
+  const double rho = std::max(u[0], kDensityFloor);
+  return std::abs(u[1 + d] / rho) + fast_speed(axis, u);
+}
+
+void IdealMhdLaw::validate_state(std::span<const double> u) const {
+  ConservationLaw::validate_state(u);
+  DSEM_ENSURE(u[0] > 0.0, "MHD: non-positive density");
+  DSEM_ENSURE(gas_pressure(u) > 0.0, "MHD: non-positive gas pressure");
+}
+
+void IdealMhdLaw::reflect(Axis axis, std::span<double> u) const {
+  const auto d = static_cast<std::size_t>(axis);
+  u[1 + d] *= -1.0; // normal momentum
+  u[5 + d] *= -1.0; // normal magnetic field component
+}
+
+std::array<double, 8> IdealMhdLaw::conserved(double rho,
+                                             std::array<double, 3> vel,
+                                             double pressure,
+                                             std::array<double, 3> b,
+                                             double gamma) {
+  const double kinetic =
+      0.5 * rho * (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+  const double magnetic = 0.5 * (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+  return {rho,
+          rho * vel[0],
+          rho * vel[1],
+          rho * vel[2],
+          pressure / (gamma - 1.0) + kinetic + magnetic,
+          b[0],
+          b[1],
+          b[2]};
+}
+
+} // namespace dsem::cronos

@@ -1,0 +1,111 @@
+#include "cronos/problems.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "cronos/law.hpp"
+
+namespace dsem::cronos {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap(double v, double period) {
+  const double r = std::fmod(v, period);
+  return r < 0.0 ? r + period : r;
+}
+} // namespace
+
+InitialCondition advection_gaussian(std::array<double, 3> center, double width,
+                                    double amplitude, double background) {
+  return [=](double x, double y, double z, std::span<double> u) {
+    const double dx = x - center[0];
+    const double dy = y - center[1];
+    const double dz = z - center[2];
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    u[0] = background + amplitude * std::exp(-r2 / (2.0 * width * width));
+  };
+}
+
+double advected_gaussian_value(std::array<double, 3> pos,
+                               std::array<double, 3> center, double width,
+                               double amplitude, double background,
+                               std::array<double, 3> velocity, double t,
+                               std::array<double, 3> domain) {
+  double r2 = 0.0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    // Minimum-image distance to the advected centre on the torus.
+    const double c = wrap(center[d] + velocity[d] * t, domain[d]);
+    double delta = std::abs(wrap(pos[d], domain[d]) - c);
+    delta = std::min(delta, domain[d] - delta);
+    r2 += delta * delta;
+  }
+  return background + amplitude * std::exp(-r2 / (2.0 * width * width));
+}
+
+InitialCondition burgers_sine(double amplitude, double mean) {
+  return [=](double x, double /*y*/, double /*z*/, std::span<double> u) {
+    u[0] = mean + amplitude * std::sin(kTwoPi * x);
+  };
+}
+
+InitialCondition sod_shock_tube(double gamma) {
+  return [=](double x, double /*y*/, double /*z*/, std::span<double> u) {
+    const bool left = x < 0.5;
+    const auto state = EulerLaw::conserved(left ? 1.0 : 0.125, {0.0, 0.0, 0.0},
+                                           left ? 1.0 : 0.1, gamma);
+    std::copy(state.begin(), state.end(), u.begin());
+  };
+}
+
+InitialCondition euler_uniform(double rho, std::array<double, 3> vel,
+                               double pressure, double gamma) {
+  return [=](double /*x*/, double /*y*/, double /*z*/, std::span<double> u) {
+    const auto state = EulerLaw::conserved(rho, vel, pressure, gamma);
+    std::copy(state.begin(), state.end(), u.begin());
+  };
+}
+
+InitialCondition brio_wu(double gamma) {
+  return [=](double x, double /*y*/, double /*z*/, std::span<double> u) {
+    const bool left = x < 0.5;
+    const auto state = IdealMhdLaw::conserved(
+        left ? 1.0 : 0.125, {0.0, 0.0, 0.0}, left ? 1.0 : 0.1,
+        {0.75, left ? 1.0 : -1.0, 0.0}, gamma);
+    std::copy(state.begin(), state.end(), u.begin());
+  };
+}
+
+InitialCondition orszag_tang(double gamma) {
+  return [=](double x, double y, double /*z*/, std::span<double> u) {
+    const double rho = gamma * gamma;
+    const double p = gamma;
+    const std::array<double, 3> vel = {-std::sin(kTwoPi * y),
+                                       std::sin(kTwoPi * x), 0.0};
+    const std::array<double, 3> b = {-std::sin(kTwoPi * y),
+                                     std::sin(2.0 * kTwoPi * x), 0.0};
+    const auto state = IdealMhdLaw::conserved(rho, vel, p, b, gamma);
+    std::copy(state.begin(), state.end(), u.begin());
+  };
+}
+
+InitialCondition mhd_turbulence_ic(double gamma, double mach) {
+  return [=](double x, double y, double z, std::span<double> u) {
+    const double rho = 1.0;
+    const double p = 1.0;
+    const double cs = std::sqrt(gamma * p / rho);
+    const double v0 = mach * cs;
+    const std::array<double, 3> vel = {
+        v0 * std::sin(kTwoPi * y) * std::cos(kTwoPi * z),
+        v0 * std::sin(kTwoPi * z) * std::cos(kTwoPi * x),
+        v0 * std::sin(kTwoPi * x) * std::cos(kTwoPi * y)};
+    const double b0 = 0.2;
+    const std::array<double, 3> b = {b0 * std::sin(kTwoPi * z),
+                                     b0 * std::sin(kTwoPi * x),
+                                     b0 * std::sin(kTwoPi * y)};
+    const auto state = IdealMhdLaw::conserved(rho, vel, p, b, gamma);
+    std::copy(state.begin(), state.end(), u.begin());
+  };
+}
+
+} // namespace dsem::cronos

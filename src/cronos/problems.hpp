@@ -1,0 +1,54 @@
+// Canonical test problems and their reference solutions.
+//
+// Used three ways: unit tests validate the solver against analytic
+// solutions (advection), classic references (Sod, Brio-Wu), and physical
+// invariants; the examples run the showcase setups (Orszag-Tang, blast
+// wave); the energy experiments just need *a* well-posed MHD workload per
+// grid size, for which mhd_turbulence_ic is the default.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+
+namespace dsem::cronos {
+
+using InitialCondition =
+    std::function<void(double x, double y, double z, std::span<double> u)>;
+
+/// Scalar Gaussian bump for the advection law; exactly translates with the
+/// advection velocity under periodic boundaries.
+InitialCondition advection_gaussian(std::array<double, 3> center,
+                                    double width, double amplitude,
+                                    double background = 0.0);
+
+/// The analytic advection solution at time t (periodic unit cube).
+double advected_gaussian_value(std::array<double, 3> pos,
+                               std::array<double, 3> center, double width,
+                               double amplitude, double background,
+                               std::array<double, 3> velocity, double t,
+                               std::array<double, 3> domain);
+
+/// Scalar sine along x for Burgers (steepens into a shock at t = 1/(2*pi*a)).
+InitialCondition burgers_sine(double amplitude, double mean = 0.0);
+
+/// Sod shock tube along x for the Euler law (gamma typically 1.4):
+/// (rho, p) = (1, 1) on the left, (0.125, 0.1) on the right of x = 0.5.
+InitialCondition sod_shock_tube(double gamma);
+
+/// Uniform Euler state moving with `vel` (exact solution: itself).
+InitialCondition euler_uniform(double rho, std::array<double, 3> vel,
+                               double pressure, double gamma);
+
+/// Brio-Wu MHD shock tube along x (gamma = 2 in the original paper).
+InitialCondition brio_wu(double gamma);
+
+/// Orszag-Tang vortex in the x-y plane (classic 2-D MHD benchmark).
+InitialCondition orszag_tang(double gamma);
+
+/// Smooth, fully 3-D MHD "turbulence" seed: sinusoidal velocity and
+/// magnetic perturbations over a uniform background. Well-posed at any
+/// grid size; the default workload of the energy characterization.
+InitialCondition mhd_turbulence_ic(double gamma, double mach = 0.5);
+
+} // namespace dsem::cronos

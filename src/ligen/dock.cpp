@@ -1,0 +1,181 @@
+#include "ligen/dock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+
+void validate(const DockingParams& params) {
+  DSEM_ENSURE(params.num_restart >= 1, "num_restart must be >= 1");
+  DSEM_ENSURE(params.num_iterations >= 1, "num_iterations must be >= 1");
+  DSEM_ENSURE(params.max_num_poses >= 1, "max_num_poses must be >= 1");
+  DSEM_ENSURE(params.angle_steps >= 2, "angle_steps must be >= 2");
+}
+
+DockingEngine::DockingEngine(const Protein& protein, DockingParams params)
+    : protein_(&protein), params_(params) {
+  validate(params_);
+}
+
+Pose DockingEngine::initialize_pose(const Ligand& ligand, int restart,
+                                    std::uint64_t seed) const {
+  // Deterministic per (ligand seed, restart index).
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(restart + 1)));
+  Pose pose;
+  pose.positions = ligand.positions();
+
+  const Vec3 c = centroid(pose.positions);
+  const double theta = std::acos(rng.uniform(-1.0, 1.0));
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const Vec3 axis = {std::sin(theta) * std::cos(phi),
+                     std::sin(theta) * std::sin(phi), std::cos(theta)};
+  const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const Vec3 jitter = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                       rng.uniform(-1.0, 1.0)};
+  for (Vec3& p : pose.positions) {
+    p = rotate_about_axis(p, c, axis, angle) + jitter;
+  }
+  return pose;
+}
+
+void DockingEngine::align(Pose& pose) const {
+  DSEM_ENSURE(!pose.positions.empty(), "align: empty pose");
+  const Vec3 c = centroid(pose.positions);
+  // Seat the ligand slightly below the pocket mouth.
+  const Vec3 target =
+      protein_->pocket_center() - protein_->pocket_axis() * 1.0;
+  const Vec3 shift = target - c;
+  for (Vec3& p : pose.positions) {
+    p += shift;
+  }
+  if (pose.positions.size() >= 3) {
+    const EigenResult eig = eigen_symmetric(covariance(pose.positions));
+    const Vec3 principal = eig.vectors[0];
+    for (Vec3& p : pose.positions) {
+      p = rotate_align(p, target, principal, protein_->pocket_axis());
+    }
+  }
+}
+
+void DockingEngine::optimize_fragment(Pose& pose, const Ligand& ligand,
+                                      const Rotamer& rotamer) const {
+  const Bond& bond = ligand.bonds()[static_cast<std::size_t>(rotamer.bond)];
+  const Vec3 origin = pose.positions[static_cast<std::size_t>(bond.a)];
+  const Vec3 axis = (pose.positions[static_cast<std::size_t>(bond.b)] - origin)
+                        .normalized();
+
+  // Score only the moving fragment: the rest is invariant under this
+  // rotation, so relative comparison is exact and cheaper.
+  const auto fragment_score = [&](double angle) {
+    double acc = 0.0;
+    for (int idx : rotamer.moving_atoms) {
+      const Vec3 p = rotate_about_axis(
+          pose.positions[static_cast<std::size_t>(idx)], origin, axis, angle);
+      acc -= protein_->steric(p);
+    }
+    return acc;
+  };
+
+  double best_angle = 0.0;
+  double best = fragment_score(0.0);
+  for (int k = 1; k < params_.angle_steps; ++k) {
+    const double angle = 2.0 * std::numbers::pi * k /
+                         static_cast<double>(params_.angle_steps);
+    const double s = fragment_score(angle);
+    if (s > best) {
+      best = s;
+      best_angle = angle;
+    }
+  }
+  if (best_angle != 0.0) {
+    for (int idx : rotamer.moving_atoms) {
+      Vec3& p = pose.positions[static_cast<std::size_t>(idx)];
+      p = rotate_about_axis(p, origin, axis, best_angle);
+    }
+  }
+}
+
+double DockingEngine::evaluate(const Pose& pose) const {
+  DSEM_ENSURE(!pose.positions.empty(), "evaluate: empty pose");
+  double acc = 0.0;
+  for (const Vec3& p : pose.positions) {
+    acc -= protein_->steric(p);
+  }
+  return acc / static_cast<double>(pose.positions.size());
+}
+
+double DockingEngine::compute_score(const Pose& pose,
+                                    const Ligand& ligand) const {
+  DSEM_ENSURE(pose.positions.size() == ligand.atoms().size(),
+              "compute_score: pose/ligand size mismatch");
+  const auto n = pose.positions.size();
+
+  double steric = 0.0;
+  double electro = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    steric -= protein_->steric(pose.positions[i]);
+    electro -= ligand.atoms()[i].charge *
+               protein_->electrostatic(pose.positions[i]);
+  }
+
+  // Intra-ligand clash: penalize non-bonded atom pairs closer than the sum
+  // of their vdW radii (fragment rotations can fold a ligand onto itself).
+  double clash = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) { // skip adjacent (bonded-ish)
+      const double d = distance(pose.positions[i], pose.positions[j]);
+      const double min_d = 0.7 * (vdw_radius(ligand.atoms()[i].element) +
+                                  vdw_radius(ligand.atoms()[j].element));
+      if (d < min_d) {
+        clash += (min_d - d) * (min_d - d);
+      }
+    }
+  }
+
+  const double n_inv = 1.0 / static_cast<double>(n);
+  return steric * n_inv + 2.0 * electro * n_inv - 5.0 * clash * n_inv;
+}
+
+std::vector<Pose> DockingEngine::dock(const Ligand& ligand,
+                                      std::uint64_t seed) const {
+  std::vector<Pose> poses;
+  poses.reserve(static_cast<std::size_t>(params_.num_restart));
+  for (int i = 0; i < params_.num_restart; ++i) {
+    Pose pose = initialize_pose(ligand, i, seed);
+    align(pose);
+    for (int n = 0; n < params_.num_iterations; ++n) {
+      for (const Rotamer& rotamer : ligand.rotamers()) {
+        optimize_fragment(pose, ligand, rotamer);
+      }
+    }
+    pose.score = evaluate(pose);
+    poses.push_back(std::move(pose));
+  }
+  std::sort(poses.begin(), poses.end(),
+            [](const Pose& a, const Pose& b) { return a.score > b.score; });
+  if (poses.size() > static_cast<std::size_t>(params_.max_num_poses)) {
+    poses.resize(static_cast<std::size_t>(params_.max_num_poses));
+  }
+  return poses;
+}
+
+double DockingEngine::score(const Ligand& ligand,
+                            std::span<const Pose> poses) const {
+  DSEM_ENSURE(!poses.empty(), "score: no poses");
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Pose& pose : poses) {
+    best = std::max(best, compute_score(pose, ligand));
+  }
+  return best;
+}
+
+double DockingEngine::dock_and_score(const Ligand& ligand,
+                                     std::uint64_t seed) const {
+  const std::vector<Pose> poses = dock(ligand, seed);
+  return score(ligand, poses);
+}
+
+} // namespace dsem::ligen

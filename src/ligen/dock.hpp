@@ -1,0 +1,77 @@
+// Dock & score (the paper's Algorithm 2).
+//
+// dock: multi-restart pose initialization, alignment into the pocket, and
+// num_iterations sweeps of per-fragment rotational optimization about each
+// rotamer axis; poses are evaluated, sorted, and clipped to max_num_poses.
+// score: the clipped poses get the refined interaction score (steric +
+// electrostatic + intra-ligand clash) and the best value is returned.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ligen/molecule.hpp"
+#include "ligen/protein.hpp"
+
+namespace dsem::ligen {
+
+struct DockingParams {
+  int num_restart = 8;     ///< independent starting orientations
+  int num_iterations = 3;  ///< optimization sweeps over all fragments
+  int max_num_poses = 4;   ///< poses kept after clipping for refined scoring
+  int angle_steps = 12;    ///< rotational samples per fragment optimization
+};
+
+/// Throws dsem::contract_error on nonsensical parameters.
+void validate(const DockingParams& params);
+
+struct Pose {
+  std::vector<Vec3> positions;
+  double score = -std::numeric_limits<double>::infinity(); ///< higher = better
+};
+
+class DockingEngine {
+public:
+  DockingEngine(const Protein& protein, DockingParams params = {});
+
+  const DockingParams& params() const noexcept { return params_; }
+  const Protein& protein() const noexcept { return *protein_; }
+
+  /// Full Algorithm 2: returns the best refined score for this ligand.
+  double dock_and_score(const Ligand& ligand, std::uint64_t seed) const;
+
+  /// The dock task alone: clipped, evaluated poses (sorted best-first).
+  std::vector<Pose> dock(const Ligand& ligand, std::uint64_t seed) const;
+
+  /// The score task alone: best refined score among the given poses.
+  double score(const Ligand& ligand, std::span<const Pose> poses) const;
+
+  // --- Algorithm 2 building blocks (public for unit testing) -------------
+
+  /// Deterministic random rigid transform of the ligand (restart i).
+  Pose initialize_pose(const Ligand& ligand, int restart,
+                       std::uint64_t seed) const;
+
+  /// Translate the pose centroid into the pocket and align its principal
+  /// axis with the pocket axis.
+  void align(Pose& pose) const;
+
+  /// Rotate the rotamer's moving fragment about its bond axis to the
+  /// steric-best of angle_steps samples.
+  void optimize_fragment(Pose& pose, const Ligand& ligand,
+                         const Rotamer& rotamer) const;
+
+  /// Fast pose quality: negated mean steric potential over atoms.
+  double evaluate(const Pose& pose) const;
+
+  /// Refined interaction score: steric + electrostatic (charge-weighted)
+  /// + intra-ligand clash penalty. Higher = stronger predicted binding.
+  double compute_score(const Pose& pose, const Ligand& ligand) const;
+
+private:
+  const Protein* protein_; // non-owning; protein outlives the engine
+  DockingParams params_;
+};
+
+} // namespace dsem::ligen

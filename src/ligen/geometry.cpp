@@ -1,0 +1,132 @@
+#include "ligen/geometry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+
+Vec3 centroid(std::span<const Vec3> points) {
+  DSEM_ENSURE(!points.empty(), "centroid of empty point cloud");
+  Vec3 acc;
+  for (const Vec3& p : points) {
+    acc += p;
+  }
+  return acc * (1.0 / static_cast<double>(points.size()));
+}
+
+Mat3 covariance(std::span<const Vec3> points) {
+  DSEM_ENSURE(!points.empty(), "covariance of empty point cloud");
+  const Vec3 c = centroid(points);
+  Mat3 m{};
+  for (const Vec3& p : points) {
+    const Vec3 d = p - c;
+    const std::array<double, 3> v = {d.x, d.y, d.z};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(points.size());
+  for (auto& row : m) {
+    for (double& v : row) {
+      v *= inv_n;
+    }
+  }
+  return m;
+}
+
+EigenResult eigen_symmetric(const Mat3& input) {
+  // Cyclic Jacobi: a handful of sweeps is ample for 3x3.
+  Mat3 a = input;
+  Mat3 v = {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        off += a[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] *
+               a[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)];
+      }
+    }
+    if (off < 1e-24) {
+      break;
+    }
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        const auto up = static_cast<std::size_t>(p);
+        const auto uq = static_cast<std::size_t>(q);
+        if (std::abs(a[up][uq]) < 1e-30) {
+          continue;
+        }
+        const double theta = (a[uq][uq] - a[up][up]) / (2.0 * a[up][uq]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < 3; ++k) {
+          const auto uk = static_cast<std::size_t>(k);
+          const double akp = a[uk][up];
+          const double akq = a[uk][uq];
+          a[uk][up] = c * akp - s * akq;
+          a[uk][uq] = s * akp + c * akq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const auto uk = static_cast<std::size_t>(k);
+          const double apk = a[up][uk];
+          const double aqk = a[uq][uk];
+          a[up][uk] = c * apk - s * aqk;
+          a[uq][uk] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const auto uk = static_cast<std::size_t>(k);
+          const double vkp = v[uk][up];
+          const double vkq = v[uk][uq];
+          v[uk][up] = c * vkp - s * vkq;
+          v[uk][uq] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::array<int, 3> order = {0, 1, 2};
+  std::sort(order.begin(), order.end(), [&](int i, int j) {
+    return a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] >
+           a[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+  });
+
+  EigenResult out;
+  for (int i = 0; i < 3; ++i) {
+    const auto src = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+    out.values[static_cast<std::size_t>(i)] = a[src][src];
+    out.vectors[static_cast<std::size_t>(i)] =
+        Vec3{v[0][src], v[1][src], v[2][src]}.normalized();
+  }
+  return out;
+}
+
+Vec3 rotate_align(const Vec3& p, const Vec3& origin, const Vec3& from,
+                  const Vec3& to) noexcept {
+  const Vec3 f = from.normalized();
+  const Vec3 t = to.normalized();
+  const double cos_angle = std::clamp(f.dot(t), -1.0, 1.0);
+  Vec3 axis = f.cross(t);
+  const double axis_norm = axis.norm();
+  if (axis_norm < 1e-12) {
+    if (cos_angle > 0.0) {
+      return p; // already aligned
+    }
+    // Antiparallel: rotate pi about any perpendicular axis.
+    Vec3 perp = f.cross(Vec3{1.0, 0.0, 0.0});
+    if (perp.norm() < 1e-9) {
+      perp = f.cross(Vec3{0.0, 1.0, 0.0});
+    }
+    return rotate_about_axis(p, origin, perp.normalized(), 3.14159265358979323846);
+  }
+  axis = axis * (1.0 / axis_norm);
+  return rotate_about_axis(p, origin, axis, std::acos(cos_angle));
+}
+
+} // namespace dsem::ligen

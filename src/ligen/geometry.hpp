@@ -1,0 +1,90 @@
+// Small 3-D geometry toolkit for the docking engine: vectors, Rodrigues
+// rotations, and a 3x3 symmetric eigensolver (for principal-axis
+// alignment of ligands into the pocket).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <span>
+
+namespace dsem::ligen {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm_sq() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm_sq()); }
+
+  Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{1.0, 0.0, 0.0};
+  }
+};
+
+inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+/// Rotate `p` about the axis through `origin` with unit direction `axis`
+/// by `angle` radians (Rodrigues' formula).
+inline Vec3 rotate_about_axis(const Vec3& p, const Vec3& origin,
+                              const Vec3& axis, double angle) noexcept {
+  const Vec3 v = p - origin;
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const Vec3 rotated =
+      v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0 - c));
+  return origin + rotated;
+}
+
+/// 3x3 symmetric matrix in row-major order (only used for covariance).
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+/// Covariance matrix of a point cloud about its centroid.
+Mat3 covariance(std::span<const Vec3> points);
+
+/// Centroid of a point cloud.
+Vec3 centroid(std::span<const Vec3> points);
+
+struct EigenResult {
+  std::array<double, 3> values;  ///< descending
+  std::array<Vec3, 3> vectors;   ///< matching unit eigenvectors
+};
+
+/// Jacobi eigen-decomposition of a symmetric 3x3 matrix.
+EigenResult eigen_symmetric(const Mat3& m);
+
+/// Rotation taking unit vector `from` onto unit vector `to`, applied to `p`
+/// about `origin` (rotation about the mutual perpendicular).
+Vec3 rotate_align(const Vec3& p, const Vec3& origin, const Vec3& from,
+                  const Vec3& to) noexcept;
+
+} // namespace dsem::ligen

@@ -1,0 +1,35 @@
+// Static kernel profiles (Table 1 features) of the LiGen dock and score
+// kernels, parameterized by ligand structure.
+//
+// Per-work-item cost scales with atoms x fragments (the asymptotic
+// complexity the paper cites from [14, 42]) — a work-item is one ligand.
+// The operation constants model production LiGen's full scoring pipeline
+// (bump grids, multi-term scoring, pose bookkeeping), which is richer than
+// the host mini-app's reduced inner loop; DESIGN.md records this fidelity
+// scaling. The resulting profile is strongly compute-bound, matching the
+// paper's LiGen characterization.
+#pragma once
+
+#include "ligen/dock.hpp"
+#include "sim/kernel_profile.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::ligen {
+
+/// Docking kernel: per-ligand cost of Algorithm 2 lines 2-12.
+sim::KernelProfile dock_profile(int num_atoms, int num_fragments,
+                                const DockingParams& params);
+
+/// Refined scoring kernel: per-ligand cost of Algorithm 2 lines 13-18.
+sim::KernelProfile score_profile(int num_atoms, const DockingParams& params);
+
+/// Submits the batched dock+score kernel sequence of a screening campaign
+/// over `num_ligands` ligands of identical (atoms, fragments) structure,
+/// without host-side numerics — the fast path for frequency sweeps. A unit
+/// test pins this sequence against VirtualScreen::run's.
+void submit_screening_kernels(synergy::Queue& queue, std::size_t num_ligands,
+                              int num_atoms, int num_fragments,
+                              const DockingParams& params,
+                              std::size_t batch_size = 4096);
+
+} // namespace dsem::ligen

@@ -1,0 +1,232 @@
+#include "ligen/molecule.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+
+double vdw_radius(Element e) noexcept {
+  switch (e) {
+  case Element::kC:
+    return 1.70;
+  case Element::kN:
+    return 1.55;
+  case Element::kO:
+    return 1.52;
+  case Element::kS:
+    return 1.80;
+  case Element::kH:
+    return 1.20;
+  }
+  return 1.70;
+}
+
+std::string to_string(Element e) {
+  switch (e) {
+  case Element::kC:
+    return "C";
+  case Element::kN:
+    return "N";
+  case Element::kO:
+    return "O";
+  case Element::kS:
+    return "S";
+  case Element::kH:
+    return "H";
+  }
+  return "?";
+}
+
+Ligand::Ligand(std::string name, std::vector<Atom> atoms,
+               std::vector<Bond> bonds, std::vector<Rotamer> rotamers)
+    : name_(std::move(name)), atoms_(std::move(atoms)),
+      bonds_(std::move(bonds)), rotamers_(std::move(rotamers)) {
+  validate(*this);
+}
+
+std::vector<Vec3> Ligand::positions() const {
+  std::vector<Vec3> out;
+  out.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    out.push_back(a.position);
+  }
+  return out;
+}
+
+namespace {
+
+/// Atoms on the `tip` side of bond (base, tip) in the bond tree.
+std::vector<int> side_of_bond(const std::vector<std::vector<int>>& adjacency,
+                              int base, int tip) {
+  std::vector<int> side;
+  std::vector<bool> seen(adjacency.size(), false);
+  seen[static_cast<std::size_t>(base)] = true;
+  std::queue<int> frontier;
+  frontier.push(tip);
+  seen[static_cast<std::size_t>(tip)] = true;
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop();
+    side.push_back(cur);
+    for (int next : adjacency[static_cast<std::size_t>(cur)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  std::sort(side.begin(), side.end());
+  return side;
+}
+
+} // namespace
+
+Ligand generate_ligand(int num_atoms, int num_fragments, Rng& rng,
+                       const std::string& name) {
+  DSEM_ENSURE(num_atoms >= 2, "a ligand needs at least 2 atoms");
+  DSEM_ENSURE(num_fragments >= 1, "a ligand has at least 1 fragment");
+
+  constexpr double kBondLength = 1.5; // angstroms, typical C-C
+  constexpr std::array<Element, 5> kPalette = {
+      Element::kC, Element::kC, Element::kN, Element::kO, Element::kS};
+
+  std::vector<Atom> atoms;
+  atoms.reserve(static_cast<std::size_t>(num_atoms));
+  std::vector<Bond> bonds;
+  bonds.reserve(static_cast<std::size_t>(num_atoms) - 1);
+  std::vector<std::vector<int>> adjacency(
+      static_cast<std::size_t>(num_atoms));
+
+  atoms.push_back(Atom{{0.0, 0.0, 0.0}, Element::kC, 0.0});
+  for (int i = 1; i < num_atoms; ++i) {
+    // Grow a branched tree: attach to a recent atom (chain-like with
+    // occasional branches), placing the new atom at bond length in a
+    // random direction that avoids immediate overlap.
+    const int window = std::min(i, 4);
+    const int parent = i - 1 - static_cast<int>(rng.uniform_int(
+                                   static_cast<std::uint64_t>(window)));
+    Vec3 pos;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const double theta = rng.uniform(0.0, std::numbers::pi);
+      const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const Vec3 dir = {std::sin(theta) * std::cos(phi),
+                        std::sin(theta) * std::sin(phi), std::cos(theta)};
+      pos = atoms[static_cast<std::size_t>(parent)].position +
+            dir * kBondLength;
+      bool clear = true;
+      for (const Atom& other : atoms) {
+        if (distance(other.position, pos) < 1.0) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) {
+        break;
+      }
+    }
+    const Element elem = kPalette[rng.uniform_int(kPalette.size())];
+    const double charge = rng.uniform(-0.4, 0.4);
+    atoms.push_back(Atom{pos, elem, charge});
+    bonds.push_back(Bond{parent, i});
+    adjacency[static_cast<std::size_t>(parent)].push_back(i);
+    adjacency[static_cast<std::size_t>(i)].push_back(parent);
+  }
+
+  // Rotatable bonds: internal tree edges (both endpoints have degree >= 2),
+  // i.e. rotating them moves a proper multi-atom fragment.
+  std::vector<int> internal_bonds;
+  for (std::size_t bi = 0; bi < bonds.size(); ++bi) {
+    const Bond& bond = bonds[bi];
+    if (adjacency[static_cast<std::size_t>(bond.a)].size() >= 2 &&
+        adjacency[static_cast<std::size_t>(bond.b)].size() >= 2) {
+      internal_bonds.push_back(static_cast<int>(bi));
+    }
+  }
+  const int wanted_rotamers = num_fragments - 1;
+  DSEM_ENSURE(static_cast<int>(internal_bonds.size()) >= wanted_rotamers,
+              "topology cannot support " + std::to_string(num_fragments) +
+                  " fragments with " + std::to_string(num_atoms) + " atoms");
+
+  // Deterministic subsample of the internal bonds.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(wanted_rotamers); ++i) {
+    const std::size_t j = i + rng.uniform_int(internal_bonds.size() - i);
+    std::swap(internal_bonds[i], internal_bonds[j]);
+  }
+  internal_bonds.resize(static_cast<std::size_t>(wanted_rotamers));
+  std::sort(internal_bonds.begin(), internal_bonds.end());
+
+  std::vector<Rotamer> rotamers;
+  rotamers.reserve(internal_bonds.size());
+  for (int bi : internal_bonds) {
+    const Bond& bond = bonds[static_cast<std::size_t>(bi)];
+    Rotamer rot;
+    rot.bond = bi;
+    rot.moving_atoms = side_of_bond(adjacency, bond.a, bond.b);
+    rotamers.push_back(std::move(rot));
+  }
+
+  return Ligand(name, std::move(atoms), std::move(bonds), std::move(rotamers));
+}
+
+std::vector<Ligand> generate_library(int count, int num_atoms,
+                                     int num_fragments, std::uint64_t seed) {
+  DSEM_ENSURE(count >= 1, "library needs at least one ligand");
+  std::vector<Ligand> library;
+  library.reserve(static_cast<std::size_t>(count));
+  Rng master(seed);
+  for (int i = 0; i < count; ++i) {
+    Rng rng = master.split();
+    library.push_back(generate_ligand(num_atoms, num_fragments, rng,
+                                      "ligand_" + std::to_string(i)));
+  }
+  return library;
+}
+
+void validate(const Ligand& ligand) {
+  const int n = ligand.num_atoms();
+  DSEM_ENSURE(n >= 2, "ligand needs at least 2 atoms");
+  DSEM_ENSURE(static_cast<int>(ligand.bonds().size()) == n - 1,
+              "ligand bonds must form a tree");
+
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  for (const Bond& b : ligand.bonds()) {
+    DSEM_ENSURE(b.a >= 0 && b.a < n && b.b >= 0 && b.b < n && b.a != b.b,
+                "bond endpoints out of range");
+    adjacency[static_cast<std::size_t>(b.a)].push_back(b.b);
+    adjacency[static_cast<std::size_t>(b.b)].push_back(b.a);
+  }
+  // Connectivity.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int visited = 0;
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop();
+    ++visited;
+    for (int next : adjacency[static_cast<std::size_t>(cur)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  DSEM_ENSURE(visited == n, "ligand graph is disconnected");
+
+  for (const Rotamer& rot : ligand.rotamers()) {
+    DSEM_ENSURE(rot.bond >= 0 &&
+                    rot.bond < static_cast<int>(ligand.bonds().size()),
+                "rotamer bond index out of range");
+    const Bond& bond = ligand.bonds()[static_cast<std::size_t>(rot.bond)];
+    const std::vector<int> expected =
+        side_of_bond(adjacency, bond.a, bond.b);
+    DSEM_ENSURE(rot.moving_atoms == expected,
+                "rotamer moving set does not match its bond split");
+  }
+}
+
+} // namespace dsem::ligen

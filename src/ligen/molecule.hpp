@@ -1,0 +1,88 @@
+// Ligand model: atoms, bonds, and rotamers.
+//
+// Following the paper (§3.2): a rotamer is a rotatable bond that splits
+// the ligand's atoms into two disjoint sets which can rotate independently
+// about the bond axis without changing physical/chemical properties; each
+// such set is a *fragment*. The complexity of docking one ligand scales
+// with its number of atoms and fragments — which is exactly why those two
+// are the domain-specific model's features.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ligen/geometry.hpp"
+
+namespace dsem::ligen {
+
+enum class Element : std::uint8_t { kC, kN, kO, kS, kH };
+
+/// Van-der-Waals radius in angstroms.
+double vdw_radius(Element e) noexcept;
+std::string to_string(Element e);
+
+struct Atom {
+  Vec3 position;      ///< angstroms
+  Element element = Element::kC;
+  double charge = 0.0; ///< partial charge, elementary units
+};
+
+struct Bond {
+  int a = 0;
+  int b = 0;
+};
+
+/// A rotatable bond plus the atom set that moves when it rotates.
+struct Rotamer {
+  int bond = 0;                  ///< index into Ligand::bonds
+  std::vector<int> moving_atoms; ///< strictly one side of the bond
+};
+
+class Ligand {
+public:
+  Ligand() = default;
+  Ligand(std::string name, std::vector<Atom> atoms, std::vector<Bond> bonds,
+         std::vector<Rotamer> rotamers);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Atom>& atoms() const noexcept { return atoms_; }
+  const std::vector<Bond>& bonds() const noexcept { return bonds_; }
+  const std::vector<Rotamer>& rotamers() const noexcept { return rotamers_; }
+
+  int num_atoms() const noexcept { return static_cast<int>(atoms_.size()); }
+  /// Fragments = rotamers + 1 (each rotamer splits one set in two).
+  int num_fragments() const noexcept {
+    return static_cast<int>(rotamers_.size()) + 1;
+  }
+
+  /// Initial coordinates of all atoms (the conformer a pose starts from).
+  std::vector<Vec3> positions() const;
+
+private:
+  std::string name_;
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<Rotamer> rotamers_;
+};
+
+/// Deterministically generates a synthetic but chemically plausible ligand:
+/// a connected branched tree of `num_atoms` heavy atoms with ~1.5 A bonds,
+/// and `num_fragments` fragments (num_fragments - 1 rotatable bonds chosen
+/// among internal bonds). Throws if num_fragments exceeds what the
+/// topology can support (needs at least one internal bond per rotamer).
+Ligand generate_ligand(int num_atoms, int num_fragments, Rng& rng,
+                       const std::string& name = "ligand");
+
+/// A library of `count` ligands with identical (atoms, fragments) makeup,
+/// individually varied by the RNG — the shape of the paper's experiments,
+/// which sweep (#ligands, #atoms, #fragments) as a tuple.
+std::vector<Ligand> generate_library(int count, int num_atoms,
+                                     int num_fragments, std::uint64_t seed);
+
+/// Throws dsem::contract_error when the topology is inconsistent
+/// (disconnected atoms, rotamer sets not matching their bond split, ...).
+void validate(const Ligand& ligand);
+
+} // namespace dsem::ligen

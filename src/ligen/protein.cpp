@@ -1,0 +1,118 @@
+#include "ligen/protein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dsem::ligen {
+
+PotentialGrid::PotentialGrid(Vec3 origin, double spacing, int nx, int ny,
+                             int nz)
+    : origin_(origin), spacing_(spacing), nx_(nx), ny_(ny), nz_(nz),
+      values_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+              static_cast<std::size_t>(nz)) {
+  DSEM_ENSURE(spacing > 0.0, "grid spacing must be positive");
+  DSEM_ENSURE(nx >= 2 && ny >= 2 && nz >= 2, "grid needs >= 2 points per axis");
+}
+
+double& PotentialGrid::at(int ix, int iy, int iz) noexcept {
+  return values_[(static_cast<std::size_t>(iz) * static_cast<std::size_t>(ny_) +
+                  static_cast<std::size_t>(iy)) *
+                     static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(ix)];
+}
+
+double PotentialGrid::at(int ix, int iy, int iz) const noexcept {
+  return values_[(static_cast<std::size_t>(iz) * static_cast<std::size_t>(ny_) +
+                  static_cast<std::size_t>(iy)) *
+                     static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(ix)];
+}
+
+double PotentialGrid::sample(const Vec3& p) const noexcept {
+  const double fx =
+      std::clamp((p.x - origin_.x) / spacing_, 0.0, static_cast<double>(nx_ - 1));
+  const double fy =
+      std::clamp((p.y - origin_.y) / spacing_, 0.0, static_cast<double>(ny_ - 1));
+  const double fz =
+      std::clamp((p.z - origin_.z) / spacing_, 0.0, static_cast<double>(nz_ - 1));
+  const int ix = std::min(static_cast<int>(fx), nx_ - 2);
+  const int iy = std::min(static_cast<int>(fy), ny_ - 2);
+  const int iz = std::min(static_cast<int>(fz), nz_ - 2);
+  const double tx = fx - ix;
+  const double ty = fy - iy;
+  const double tz = fz - iz;
+
+  const auto lerp = [](double a, double b, double t) {
+    return a + (b - a) * t;
+  };
+  const double c00 = lerp(at(ix, iy, iz), at(ix + 1, iy, iz), tx);
+  const double c10 = lerp(at(ix, iy + 1, iz), at(ix + 1, iy + 1, iz), tx);
+  const double c01 = lerp(at(ix, iy, iz + 1), at(ix + 1, iy, iz + 1), tx);
+  const double c11 = lerp(at(ix, iy + 1, iz + 1), at(ix + 1, iy + 1, iz + 1), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+Protein Protein::generate_pocket(std::uint64_t seed, int lining_atoms,
+                                 double pocket_radius, double grid_spacing) {
+  DSEM_ENSURE(lining_atoms >= 8, "pocket needs at least 8 lining atoms");
+  DSEM_ENSURE(pocket_radius > 2.0, "pocket radius too small");
+
+  Protein protein;
+  protein.center_ = {0.0, 0.0, 0.0};
+  protein.radius_ = pocket_radius;
+
+  Rng rng(seed);
+  protein.atoms_.reserve(static_cast<std::size_t>(lining_atoms));
+  // Lining atoms on a spherical shell, leaving an opening around +z (the
+  // pocket "mouth"), with slight radial jitter: a cavity with structure.
+  for (int i = 0; i < lining_atoms; ++i) {
+    double cos_theta = rng.uniform(-1.0, 0.85); // opening near cos=1
+    const double theta = std::acos(cos_theta);
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double r = pocket_radius * rng.uniform(0.95, 1.15);
+    ProteinAtom atom;
+    atom.position = {r * std::sin(theta) * std::cos(phi),
+                     r * std::sin(theta) * std::sin(phi),
+                     r * std::cos(theta)};
+    atom.radius = rng.uniform(1.5, 1.9);
+    atom.charge = rng.uniform(-0.5, 0.5);
+    protein.atoms_.push_back(atom);
+  }
+  protein.axis_ = {0.0, 0.0, 1.0}; // toward the opening
+
+  // Precompute the grids over the pocket bounding box (+2 A margin).
+  const double half = pocket_radius + 2.0;
+  const int n = std::max(2, static_cast<int>(std::ceil(2.0 * half / grid_spacing)) + 1);
+  const Vec3 origin = {-half, -half, -half};
+  protein.steric_ = PotentialGrid(origin, grid_spacing, n, n, n);
+  protein.electro_ = PotentialGrid(origin, grid_spacing, n, n, n);
+
+  for (int iz = 0; iz < n; ++iz) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int ix = 0; ix < n; ++ix) {
+        const Vec3 p = {origin.x + ix * grid_spacing,
+                        origin.y + iy * grid_spacing,
+                        origin.z + iz * grid_spacing};
+        double steric = 0.0;
+        double electro = 0.0;
+        for (const ProteinAtom& atom : protein.atoms_) {
+          const double d = std::max(distance(p, atom.position), 0.3);
+          const double s = atom.radius / d;
+          const double s6 = s * s * s * s * s * s;
+          // 12-6 form, clamped so clashes are steep but finite.
+          steric += std::min(s6 * s6 - 2.0 * s6, 50.0);
+          electro += atom.charge * std::exp(-d / 4.0) / d; // screened Coulomb
+        }
+        protein.steric_.at(ix, iy, iz) = std::min(steric, 100.0);
+        protein.electro_.at(ix, iy, iz) = electro;
+      }
+    }
+  }
+  return protein;
+}
+
+} // namespace dsem::ligen

@@ -1,0 +1,91 @@
+// Synthetic target protein with a grid-based scoring field.
+//
+// LiGen scores poses against precomputed potential grids of the target
+// protein (the protein is constant per virtual-screening campaign). We
+// generate a pocket — a roughly spherical cavity lined with protein atoms
+// — and precompute two trilinearly-interpolated fields over its bounding
+// box: a steric field (Lennard-Jones-like: attractive near the lining,
+// strongly repulsive inside atoms) and an electrostatic field (screened
+// Coulomb from the lining atoms' partial charges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ligen/geometry.hpp"
+
+namespace dsem::ligen {
+
+/// Trilinearly interpolated scalar field on a regular lattice.
+class PotentialGrid {
+public:
+  PotentialGrid() = default;
+  PotentialGrid(Vec3 origin, double spacing, int nx, int ny, int nz);
+
+  double& at(int ix, int iy, int iz) noexcept;
+  double at(int ix, int iy, int iz) const noexcept;
+
+  /// Interpolated value; positions outside the box clamp to the boundary.
+  double sample(const Vec3& p) const noexcept;
+
+  Vec3 origin() const noexcept { return origin_; }
+  double spacing() const noexcept { return spacing_; }
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+
+private:
+  Vec3 origin_;
+  double spacing_ = 1.0;
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<double> values_;
+};
+
+struct ProteinAtom {
+  Vec3 position;
+  double radius = 1.7;
+  double charge = 0.0;
+};
+
+class Protein {
+public:
+  /// Generates a pocket of `lining_atoms` protein atoms on a spherical
+  /// shell of `pocket_radius` angstroms and precomputes the scoring grids.
+  static Protein generate_pocket(std::uint64_t seed, int lining_atoms = 180,
+                                 double pocket_radius = 8.0,
+                                 double grid_spacing = 0.5);
+
+  Vec3 pocket_center() const noexcept { return center_; }
+  double pocket_radius() const noexcept { return radius_; }
+
+  /// Principal axis of the pocket opening (for pose alignment).
+  Vec3 pocket_axis() const noexcept { return axis_; }
+
+  const std::vector<ProteinAtom>& atoms() const noexcept { return atoms_; }
+
+  /// Steric potential: negative (favourable) inside the cavity near the
+  /// lining, sharply positive when clashing with protein atoms.
+  double steric(const Vec3& p) const noexcept { return steric_.sample(p); }
+
+  /// Electrostatic potential per unit charge.
+  double electrostatic(const Vec3& p) const noexcept {
+    return electro_.sample(p);
+  }
+
+  const PotentialGrid& steric_grid() const noexcept { return steric_; }
+  const PotentialGrid& electro_grid() const noexcept { return electro_; }
+
+private:
+  Protein() = default;
+
+  Vec3 center_;
+  double radius_ = 0.0;
+  Vec3 axis_{0.0, 0.0, 1.0};
+  std::vector<ProteinAtom> atoms_;
+  PotentialGrid steric_;
+  PotentialGrid electro_;
+};
+
+} // namespace dsem::ligen

@@ -1,0 +1,46 @@
+// Batched virtual screening over a ligand library.
+//
+// Ligand-protein evaluations are independent (embarrassingly parallel);
+// the screen packs the library into GPU batches, submitting one dock and
+// one score kernel per batch through the synergy queue. In Validate mode
+// the real docking runs on the host thread pool and the returned scores
+// rank the library; in SimOnly mode only the device cost is accounted
+// (frequency sweeps).
+#pragma once
+
+#include <span>
+
+#include "ligen/dock.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::ligen {
+
+struct ScreeningResult {
+  std::vector<double> scores; ///< one per ligand, NaN in SimOnly mode
+
+  /// Indices of the ligands sorted by descending score.
+  std::vector<std::size_t> ranking() const;
+};
+
+class VirtualScreen {
+public:
+  VirtualScreen(const Protein& protein, DockingParams params = {},
+                std::size_t batch_size = 4096);
+
+  const DockingEngine& engine() const noexcept { return engine_; }
+  std::size_t batch_size() const noexcept { return batch_size_; }
+
+  /// Screens the library through the queue (kernel submission per batch).
+  ScreeningResult run(std::span<const Ligand> library, synergy::Queue& queue,
+                      std::uint64_t seed = 0x11c3) const;
+
+  /// Host-only screening (no device accounting): tests and ranking demos.
+  ScreeningResult run_host(std::span<const Ligand> library,
+                           std::uint64_t seed = 0x11c3) const;
+
+private:
+  DockingEngine engine_;
+  std::size_t batch_size_;
+};
+
+} // namespace dsem::ligen

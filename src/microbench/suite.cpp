@@ -1,0 +1,123 @@
+#include "microbench/suite.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/kernel_ir.hpp"
+
+namespace dsem::microbench {
+
+namespace {
+
+/// Every suite kernel is authored as kernel IR and passed through the
+/// static analyzer — the same extraction path Fan et al. run on PTX.
+MicroBenchmark finish(const sim::KernelIr& ir, std::size_t work_items) {
+  MicroBenchmark mb;
+  mb.profile = sim::analyze(ir);
+  mb.work_items = work_items;
+  return mb;
+}
+
+} // namespace
+
+std::vector<MicroBenchmark> make_suite() {
+  std::vector<MicroBenchmark> suite;
+  suite.reserve(kSuiteSize);
+
+  // Workload sizes cycle through under-, at-, and over-subscription so the
+  // corpus also spans utilization regimes.
+  constexpr std::array<std::size_t, 4> kSizes = {4096, 65536, 524288, 2097152};
+  const auto size_for = [&](std::size_t i) { return kSizes[i % kSizes.size()]; };
+
+  // 1) Pure-feature intensity sweeps: one family per arithmetic feature of
+  //    Table 1, five intensities each (7 x 5 = 35 kernels). A small memory
+  //    stream keeps every kernel physically plausible.
+  constexpr std::array<double, 5> kIntensities = {32, 96, 256, 768, 2048};
+  const auto arithmetic_family = [&](const std::string& name, sim::Op op) {
+    for (std::size_t i = 0; i < kIntensities.size(); ++i) {
+      sim::KernelIr ir("ub::" + name + "_" + std::to_string(i));
+      ir.emit(op, kIntensities[i]);
+      ir.load_global(16.0);
+      suite.push_back(finish(ir, size_for(suite.size())));
+    }
+  };
+  arithmetic_family("int_add", sim::Op::kIAdd);
+  arithmetic_family("int_mul", sim::Op::kIMul);
+  arithmetic_family("int_div", sim::Op::kIDiv);
+  arithmetic_family("int_bw", sim::Op::kXor);
+  arithmetic_family("float_add", sim::Op::kFAdd);
+  arithmetic_family("float_mul", sim::Op::kFMul);
+  arithmetic_family("float_div", sim::Op::kFDiv);
+
+  // 2) Special-function sweep (5 kernels).
+  for (std::size_t i = 0; i < kIntensities.size(); ++i) {
+    sim::KernelIr ir("ub::sf_" + std::to_string(i));
+    ir.special(kIntensities[i] / 4.0);
+    ir.load_global(16.0);
+    suite.push_back(finish(ir, size_for(suite.size())));
+  }
+
+  // 3) Global-memory streaming sweep (8 kernels): copy/scale-style kernels
+  //    with rising bytes per item and token arithmetic.
+  for (int i = 0; i < 8; ++i) {
+    sim::KernelIr ir("ub::stream_" + std::to_string(i));
+    ir.load_global(32.0 * static_cast<double>(1 << i));
+    ir.fadd(8.0);
+    ir.iadd(4.0);
+    suite.push_back(finish(ir, size_for(suite.size())));
+  }
+
+  // 4) Shared/local-memory-heavy kernels (6).
+  for (int i = 0; i < 6; ++i) {
+    sim::KernelIr ir("ub::local_" + std::to_string(i));
+    ir.load_local(64.0 * static_cast<double>(1 << i));
+    ir.fadd(32.0);
+    ir.fmul(32.0);
+    ir.load_global(32.0);
+    suite.push_back(finish(ir, size_for(suite.size())));
+  }
+
+  // 5) Roofline-ratio sweep (16): fixed memory traffic, geometrically
+  //    rising FMA work — walks the kernel from memory- to compute-bound.
+  for (int i = 0; i < 16; ++i) {
+    sim::KernelIr ir("ub::roofline_" + std::to_string(i));
+    const double flops = 8.0 * std::pow(1.8, i);
+    ir.fadd(flops * 0.5);
+    ir.fmul(flops * 0.5);
+    ir.load_global(256.0);
+    suite.push_back(finish(ir, size_for(suite.size())));
+  }
+
+  // 6) Deterministic random mixtures fill the corpus to 106 kernels,
+  //    covering feature-interaction corners the sweeps miss.
+  Rng rng(0xACDC);
+  while (suite.size() < kSuiteSize) {
+    sim::KernelIr ir("ub::mix_" + std::to_string(suite.size()));
+    ir.iadd(rng.uniform(0.0, 256.0));
+    ir.imul(rng.uniform(0.0, 128.0));
+    ir.idiv(rng.uniform(0.0, 8.0));
+    ir.bitwise(rng.uniform(0.0, 64.0));
+    ir.fadd(rng.uniform(0.0, 512.0));
+    ir.fmul(rng.uniform(0.0, 512.0));
+    ir.fdiv(rng.uniform(0.0, 16.0));
+    ir.special(rng.uniform(0.0, 32.0));
+    ir.load_global(std::max(1e-9, rng.uniform(8.0, 2048.0)));
+    const double local = rng.uniform(0.0, 256.0);
+    if (local > 0.0) {
+      ir.load_local(local);
+    }
+    suite.push_back(finish(ir, size_for(suite.size())));
+  }
+
+  DSEM_ENSURE(suite.size() == kSuiteSize, "suite must have 106 kernels");
+  for (const MicroBenchmark& mb : suite) {
+    sim::validate(mb.profile);
+    DSEM_ENSURE(mb.work_items > 0, "micro-benchmark with no work");
+  }
+  return suite;
+}
+
+} // namespace dsem::microbench

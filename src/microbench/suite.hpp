@@ -1,0 +1,31 @@
+// Synthetic micro-benchmark suite for general-purpose model training.
+//
+// Fan et al. (the paper's general-purpose baseline) train on 106
+// carefully designed micro-benchmarks, each stressing one or more of the
+// static code features of Table 1. This suite regenerates that corpus:
+// per-feature intensity sweeps, memory-streaming kernels, roofline-ratio
+// sweeps, and deterministic random mixtures — 106 kernels total, each
+// with its own workload size. Crucially, these kernels carry *static*
+// features only; nothing in the corpus encodes application input size,
+// which is the blind spot the domain-specific models fix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/kernel_profile.hpp"
+
+namespace dsem::microbench {
+
+struct MicroBenchmark {
+  sim::KernelProfile profile;
+  std::size_t work_items = 0;
+};
+
+/// Number of kernels in the canonical suite.
+inline constexpr std::size_t kSuiteSize = 106;
+
+/// The deterministic 106-kernel suite.
+std::vector<MicroBenchmark> make_suite();
+
+} // namespace dsem::microbench

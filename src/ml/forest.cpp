@@ -1,0 +1,69 @@
+#include "ml/forest.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+
+RandomForestRegressor::RandomForestRegressor(ForestParams params)
+    : params_(params) {
+  DSEM_ENSURE(params.n_estimators > 0, "n_estimators must be positive");
+}
+
+void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
+  DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
+  DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
+  const std::size_t n = x.rows();
+  const auto n_trees = static_cast<std::size_t>(params_.n_estimators);
+
+  TreeParams tp;
+  tp.max_depth = params_.max_depth;
+  tp.min_samples_split = params_.min_samples_split;
+  tp.min_samples_leaf = params_.min_samples_leaf;
+  tp.max_features = params_.max_features;
+
+  trees_.assign(n_trees, DecisionTreeRegressor(tp));
+
+  // Derive one independent seed per tree up front so results do not depend
+  // on scheduling order (CP.2: no shared mutable RNG across tasks).
+  SplitMix64 seeder(params_.seed);
+  std::vector<std::uint64_t> seeds(n_trees);
+  for (auto& s : seeds) {
+    s = seeder.next();
+  }
+
+  parallel_for(0, n_trees, [&](std::size_t t) {
+    Rng rng(seeds[t]);
+    TreeParams tree_params = tp;
+    tree_params.seed = rng();
+
+    std::vector<std::size_t> sample(n);
+    if (params_.bootstrap) {
+      for (auto& idx : sample) {
+        idx = rng.uniform_int(n);
+      }
+    } else {
+      std::iota(sample.begin(), sample.end(), 0);
+    }
+    const Matrix xb = x.gather_rows(sample);
+    std::vector<double> yb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      yb[i] = y[sample[i]];
+    }
+    DecisionTreeRegressor tree(tree_params);
+    tree.fit(xb, yb);
+    trees_[t] = std::move(tree);
+  });
+}
+
+double RandomForestRegressor::predict_one(std::span<const double> x) const {
+  DSEM_ENSURE(!trees_.empty(), "predict on unfitted RandomForestRegressor");
+  double acc = 0.0;
+  for (const auto& tree : trees_) {
+    acc += tree.predict_one(x);
+  }
+  return acc / static_cast<double>(trees_.size());
+}
+
+} // namespace dsem::ml

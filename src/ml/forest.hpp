@@ -1,0 +1,41 @@
+// Random forest regressor: bagged CART trees with per-node feature
+// subsampling, fitted in parallel (each tree owns an independent RNG
+// stream, so fitting is deterministic regardless of scheduling).
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "ml/tree.hpp"
+
+namespace dsem::ml {
+
+struct ForestParams {
+  int n_estimators = 100;
+  int max_depth = 0;         ///< 0 = unlimited
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  int max_features = 0;      ///< 0 = all features (sklearn regressor default)
+  bool bootstrap = true;
+  std::uint64_t seed = 42;
+};
+
+class RandomForestRegressor final : public Regressor {
+public:
+  explicit RandomForestRegressor(ForestParams params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<RandomForestRegressor>(params_);
+  }
+  std::string name() const override { return "RandomForest"; }
+
+  const ForestParams& params() const noexcept { return params_; }
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  const DecisionTreeRegressor& tree(std::size_t i) const { return trees_[i]; }
+
+private:
+  ForestParams params_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+} // namespace dsem::ml

@@ -1,0 +1,109 @@
+#include "ml/lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+
+LassoRegressor::LassoRegressor(double alpha, int max_iter, double tol)
+    : alpha_(alpha), max_iter_(max_iter), tol_(tol) {
+  DSEM_ENSURE(alpha >= 0.0, "Lasso alpha must be non-negative");
+  DSEM_ENSURE(max_iter > 0, "Lasso max_iter must be positive");
+}
+
+namespace {
+
+double soft_threshold(double value, double threshold) noexcept {
+  if (value > threshold) {
+    return value - threshold;
+  }
+  if (value < -threshold) {
+    return value + threshold;
+  }
+  return 0.0;
+}
+
+} // namespace
+
+void LassoRegressor::fit(const Matrix& x, std::span<const double> y) {
+  DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
+  DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+
+  StandardScaler scaler;
+  scaler.fit(x);
+  const Matrix xs = scaler.transform(x);
+
+  double y_mean = 0.0;
+  for (double v : y) {
+    y_mean += v;
+  }
+  y_mean /= static_cast<double>(n);
+
+  std::vector<double> w(k, 0.0);
+  std::vector<double> residual(n); // r = yc - Xs w, with w = 0 initially
+  for (std::size_t i = 0; i < n; ++i) {
+    residual[i] = y[i] - y_mean;
+  }
+
+  // Column squared norms (constant across iterations).
+  std::vector<double> col_sq(k, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = xs.row(r);
+    for (std::size_t j = 0; j < k; ++j) {
+      col_sq[j] += row[j] * row[j];
+    }
+  }
+
+  const double thresh = alpha_ * static_cast<double>(n);
+  iterations_ = 0;
+  for (int it = 0; it < max_iter_; ++it) {
+    ++iterations_;
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (col_sq[j] == 0.0) {
+        continue; // constant column: handled by the intercept
+      }
+      // rho = x_j . (r + w_j x_j)
+      double rho = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        rho += xs(r, j) * residual[r];
+      }
+      rho += w[j] * col_sq[j];
+      const double w_new = soft_threshold(rho, thresh) / col_sq[j];
+      const double delta = w_new - w[j];
+      if (delta != 0.0) {
+        for (std::size_t r = 0; r < n; ++r) {
+          residual[r] -= delta * xs(r, j);
+        }
+        w[j] = w_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < tol_) {
+      break;
+    }
+  }
+
+  // Map back to the original feature space:
+  //   y = y_mean + sum_j w_j (x_j - mu_j)/s_j
+  coef_.assign(k, 0.0);
+  intercept_ = y_mean;
+  const auto mean = scaler.mean();
+  const auto scale = scaler.scale();
+  for (std::size_t j = 0; j < k; ++j) {
+    coef_[j] = w[j] / scale[j];
+    intercept_ -= coef_[j] * mean[j];
+  }
+}
+
+double LassoRegressor::predict_one(std::span<const double> x) const {
+  DSEM_ENSURE(!coef_.empty(), "predict on unfitted LassoRegressor");
+  DSEM_ENSURE(x.size() == coef_.size(), "predict: feature width mismatch");
+  return dot(x, coef_) + intercept_;
+}
+
+} // namespace dsem::ml

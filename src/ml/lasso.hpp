@@ -1,0 +1,36 @@
+// L1-regularized least squares via cyclic coordinate descent on
+// standardized features (the scikit-learn Lasso formulation:
+// (1/2n)||y - Xw||² + alpha * ||w||₁).
+#pragma once
+
+#include "ml/regressor.hpp"
+
+namespace dsem::ml {
+
+class LassoRegressor final : public Regressor {
+public:
+  explicit LassoRegressor(double alpha = 1.0, int max_iter = 1000,
+                          double tol = 1e-6);
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<LassoRegressor>(alpha_, max_iter_, tol_);
+  }
+  std::string name() const override { return "Lasso"; }
+
+  /// Coefficients in the *original* (unstandardized) feature space.
+  std::span<const double> coefficients() const noexcept { return coef_; }
+  double intercept() const noexcept { return intercept_; }
+  int iterations_run() const noexcept { return iterations_; }
+
+private:
+  double alpha_;
+  int max_iter_;
+  double tol_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  int iterations_ = 0;
+};
+
+} // namespace dsem::ml

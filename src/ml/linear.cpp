@@ -1,0 +1,35 @@
+#include "ml/linear.hpp"
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+
+void LinearRegressor::fit(const Matrix& x, std::span<const double> y) {
+  DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
+  DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
+
+  // Augment with a bias column.
+  Matrix xb(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = xb.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[x.cols()] = 1.0;
+  }
+
+  Matrix g = gram(xb);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    g(i, i) += ridge_;
+  }
+  const std::vector<double> w = solve_spd(std::move(g), at_y(xb, y));
+  coef_.assign(w.begin(), w.end() - 1);
+  intercept_ = w.back();
+}
+
+double LinearRegressor::predict_one(std::span<const double> x) const {
+  DSEM_ENSURE(!coef_.empty(), "predict on unfitted LinearRegressor");
+  DSEM_ENSURE(x.size() == coef_.size(), "predict: feature width mismatch");
+  return dot(x, coef_) + intercept_;
+}
+
+} // namespace dsem::ml

@@ -1,0 +1,29 @@
+// Ordinary least squares with a tiny ridge term for numerical stability,
+// solved via the normal equations (features here are at most a dozen wide).
+#pragma once
+
+#include "ml/regressor.hpp"
+
+namespace dsem::ml {
+
+class LinearRegressor final : public Regressor {
+public:
+  explicit LinearRegressor(double ridge = 1e-8) : ridge_(ridge) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<LinearRegressor>(ridge_);
+  }
+  std::string name() const override { return "Linear"; }
+
+  std::span<const double> coefficients() const noexcept { return coef_; }
+  double intercept() const noexcept { return intercept_; }
+
+private:
+  double ridge_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+} // namespace dsem::ml

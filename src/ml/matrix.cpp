@@ -1,0 +1,167 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  DSEM_ENSURE(!rows.empty(), "from_rows: no rows");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    DSEM_ENSURE(rows[r].size() == m.cols_, "from_rows: ragged input");
+    for (std::size_t c = 0; c < m.cols_; ++c) {
+      m(r, c) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    DSEM_ENSURE(indices[r] < rows_, "gather_rows: index out of range");
+    const auto src = row(indices[r]);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  DSEM_ENSURE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double v = row[i];
+      if (v == 0.0) {
+        continue;
+      }
+      for (std::size_t j = i; j < a.cols(); ++j) {
+        g(i, j) += v * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      g(i, j) = g(j, i);
+    }
+  }
+  return g;
+}
+
+std::vector<double> at_y(const Matrix& a, std::span<const double> y) {
+  DSEM_ENSURE(a.rows() == y.size(), "at_y: dimension mismatch");
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out[c] += row[c] * y[r];
+    }
+  }
+  return out;
+}
+
+std::vector<double> solve_spd(Matrix a, std::vector<double> b, double jitter) {
+  DSEM_ENSURE(a.rows() == a.cols(), "solve_spd: matrix must be square");
+  DSEM_ENSURE(a.rows() == b.size(), "solve_spd: rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  // Cholesky with escalating diagonal jitter on breakdown.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Matrix l(n, n);
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double sum = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) {
+          sum -= l(i, k) * l(j, k);
+        }
+        if (i == j) {
+          if (sum <= 0.0 || !std::isfinite(sum)) {
+            ok = false;
+            break;
+          }
+          l(i, i) = std::sqrt(sum);
+        } else {
+          l(i, j) = sum / l(j, j);
+        }
+      }
+    }
+    if (ok) {
+      // Forward then backward substitution.
+      std::vector<double> y(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k) {
+          sum -= l(i, k) * y[k];
+        }
+        y[i] = sum / l(i, i);
+      }
+      std::vector<double> x(n);
+      for (std::size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) {
+          sum -= l(k, ii) * x[k];
+        }
+        x[ii] = sum / l(ii, ii);
+      }
+      return x;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, i) += jitter;
+    }
+    jitter *= 100.0;
+  }
+  DSEM_ENSURE(false, "solve_spd: matrix is not positive definite");
+  return {};
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  DSEM_ENSURE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+} // namespace dsem::ml

@@ -1,0 +1,70 @@
+// Dense row-major matrix with just enough linear algebra for the
+// regressors: products, transpose-products, and an SPD Cholesky solve for
+// ridge-stabilized normal equations.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace dsem::ml {
+
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<const double> data() const noexcept { return data_; }
+
+  /// Select a subset of rows (by index, duplicates allowed — used for
+  /// bootstrap resampling).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  Matrix transposed() const;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Throws on dimension mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Aᵀ * A (k x k for an n x k A).
+Matrix gram(const Matrix& a);
+
+/// Aᵀ * y.
+std::vector<double> at_y(const Matrix& a, std::span<const double> y);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Adds `jitter` * I on breakdown (retries a few times) before throwing.
+std::vector<double> solve_spd(Matrix a, std::vector<double> b,
+                              double jitter = 1e-10);
+
+/// Dot product of equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+} // namespace dsem::ml

@@ -1,0 +1,138 @@
+#include "ml/model_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dsem::ml {
+
+std::vector<Split> kfold(std::size_t n, std::size_t folds,
+                         std::uint64_t seed) {
+  DSEM_ENSURE(folds >= 2, "kfold needs at least 2 folds");
+  DSEM_ENSURE(n >= folds, "kfold: more folds than samples");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = n; i-- > 1;) {
+    std::swap(order[i], order[rng.uniform_int(i + 1)]);
+  }
+  std::vector<Split> splits(folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t fold = i % folds;
+    splits[fold].test.push_back(order[i]);
+  }
+  for (std::size_t f = 0; f < folds; ++f) {
+    for (std::size_t g = 0; g < folds; ++g) {
+      if (g == f) {
+        continue;
+      }
+      splits[f].train.insert(splits[f].train.end(), splits[g].test.begin(),
+                             splits[g].test.end());
+    }
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+std::vector<Split> leave_one_group_out(std::span<const int> groups) {
+  DSEM_ENSURE(!groups.empty(), "leave_one_group_out: empty groups");
+  std::vector<int> labels(groups.begin(), groups.end());
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  DSEM_ENSURE(labels.size() >= 2,
+              "leave_one_group_out needs at least 2 distinct groups");
+
+  std::vector<Split> splits;
+  splits.reserve(labels.size());
+  for (int held_out : labels) {
+    Split split;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      (groups[i] == held_out ? split.test : split.train).push_back(i);
+    }
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+double cross_val_score(
+    const Regressor& proto, const Matrix& x, std::span<const double> y,
+    std::span<const Split> splits,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& score) {
+  DSEM_ENSURE(!splits.empty(), "cross_val_score: no splits");
+  double acc = 0.0;
+  for (const Split& split : splits) {
+    DSEM_ENSURE(!split.train.empty() && !split.test.empty(),
+                "cross_val_score: degenerate split");
+    const Matrix x_train = x.gather_rows(split.train);
+    std::vector<double> y_train(split.train.size());
+    for (std::size_t i = 0; i < split.train.size(); ++i) {
+      y_train[i] = y[split.train[i]];
+    }
+    auto model = proto.clone();
+    model->fit(x_train, y_train);
+
+    std::vector<double> truth(split.test.size());
+    std::vector<double> pred(split.test.size());
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      truth[i] = y[split.test[i]];
+      pred[i] = model->predict_one(x.row(split.test[i]));
+    }
+    acc += score(truth, pred);
+  }
+  return acc / static_cast<double>(splits.size());
+}
+
+namespace {
+
+void enumerate(const std::map<std::string, std::vector<double>>& grid,
+               std::map<std::string, std::vector<double>>::const_iterator it,
+               std::map<std::string, double>& current,
+               const std::function<void(const std::map<std::string, double>&)>&
+                   visit) {
+  if (it == grid.end()) {
+    visit(current);
+    return;
+  }
+  auto next = it;
+  ++next;
+  for (double v : it->second) {
+    current[it->first] = v;
+    enumerate(grid, next, current, visit);
+  }
+}
+
+} // namespace
+
+GridSearchResult grid_search(
+    const std::map<std::string, std::vector<double>>& grid,
+    const std::function<std::unique_ptr<Regressor>(
+        const std::map<std::string, double>&)>& factory,
+    const Matrix& x, std::span<const double> y, std::span<const Split> splits,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& score) {
+  DSEM_ENSURE(!grid.empty(), "grid_search: empty grid");
+  for (const auto& [name, values] : grid) {
+    DSEM_ENSURE(!values.empty(), "grid_search: no values for " + name);
+  }
+
+  GridSearchResult result;
+  result.best_score = std::numeric_limits<double>::infinity();
+  std::map<std::string, double> current;
+  enumerate(grid, grid.begin(), current,
+            [&](const std::map<std::string, double>& params) {
+              const auto model = factory(params);
+              const double s = cross_val_score(*model, x, y, splits, score);
+              ++result.evaluated;
+              if (s < result.best_score) {
+                result.best_score = s;
+                result.best_params = params;
+              }
+            });
+  return result;
+}
+
+} // namespace dsem::ml

@@ -1,0 +1,59 @@
+// Cross-validation and hyperparameter grid search.
+//
+// The paper validates its domain-specific models with leave-one-out
+// cross-validation *over input feature vectors* (all frequency samples of
+// one input form one held-out group), and tunes the Random Forest with a
+// grid search — both provided here.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace dsem::ml {
+
+/// One train/test split, as index lists into the dataset.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// K-fold splits of n samples (deterministically shuffled by seed).
+std::vector<Split> kfold(std::size_t n, std::size_t folds,
+                         std::uint64_t seed = 0);
+
+/// Leave-one-group-out: one split per distinct group label; samples of the
+/// held-out group form the test set. This is the paper's LOOCV over inputs.
+std::vector<Split> leave_one_group_out(std::span<const int> groups);
+
+/// Fits a clone of `proto` on each split's training rows and scores on the
+/// test rows with `score(truth, pred)` (lower = better, e.g. MAPE).
+/// Returns the mean score across splits.
+double cross_val_score(
+    const Regressor& proto, const Matrix& x, std::span<const double> y,
+    std::span<const Split> splits,
+    const std::function<double(std::span<const double>, std::span<const double>)>&
+        score);
+
+/// Hyperparameter grid search (lower score = better).
+struct GridSearchResult {
+  std::map<std::string, double> best_params;
+  double best_score = 0.0;
+  std::size_t evaluated = 0;
+};
+
+/// `grid` maps parameter name to candidate values; `factory` builds an
+/// unfitted regressor from one full assignment. All combinations are
+/// evaluated by cross_val_score over `splits`.
+GridSearchResult grid_search(
+    const std::map<std::string, std::vector<double>>& grid,
+    const std::function<std::unique_ptr<Regressor>(
+        const std::map<std::string, double>&)>& factory,
+    const Matrix& x, std::span<const double> y, std::span<const Split> splits,
+    const std::function<double(std::span<const double>, std::span<const double>)>&
+        score);
+
+} // namespace dsem::ml

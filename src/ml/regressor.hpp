@@ -1,0 +1,51 @@
+// Common interface for all regression models.
+//
+// fit() consumes a feature matrix X (one sample per row) and targets y;
+// clone() returns an *unfitted* copy carrying the same hyperparameters so
+// that cross-validation and grid search can refit fresh instances per fold.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace dsem::ml {
+
+class Regressor {
+public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+  virtual double predict_one(std::span<const double> x) const = 0;
+  virtual std::unique_ptr<Regressor> clone() const = 0;
+  virtual std::string name() const = 0;
+
+  std::vector<double> predict(const Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out[r] = predict_one(x.row(r));
+    }
+    return out;
+  }
+};
+
+/// Per-feature standardization (zero mean, unit variance). Constant
+/// features get scale 1 so transform is a no-op on them.
+class StandardScaler {
+public:
+  void fit(const Matrix& x);
+  std::vector<double> transform_one(std::span<const double> x) const;
+  Matrix transform(const Matrix& x) const;
+  bool fitted() const noexcept { return !mean_.empty(); }
+  std::span<const double> mean() const noexcept { return mean_; }
+  std::span<const double> scale() const noexcept { return scale_; }
+
+private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+} // namespace dsem::ml

@@ -1,0 +1,158 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
+    : params_(params) {
+  DSEM_ENSURE(params.max_depth >= 0, "max_depth must be >= 0");
+  DSEM_ENSURE(params.min_samples_split >= 2, "min_samples_split must be >= 2");
+  DSEM_ENSURE(params.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  DSEM_ENSURE(params.max_features >= 0, "max_features must be >= 0");
+}
+
+void DecisionTreeRegressor::fit(const Matrix& x, std::span<const double> y) {
+  DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
+  DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng rng(params_.seed);
+  build(x, y, indices, 0, indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTreeRegressor::build(const Matrix& x,
+                                          std::span<const double> y,
+                                          std::vector<std::size_t>& indices,
+                                          std::size_t begin, std::size_t end,
+                                          int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = y[indices[i]];
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sse = sum_sq - sum * mean; // total squared error around mean
+
+  const auto make_leaf = [&] {
+    nodes_.push_back(Node{-1, 0.0, -1, -1, mean});
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const bool depth_capped = params_.max_depth > 0 && depth >= params_.max_depth;
+  if (n < static_cast<std::size_t>(params_.min_samples_split) ||
+      depth_capped || sse <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset without replacement.
+  const std::size_t k = x.cols();
+  std::vector<std::size_t> features(k);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t tries = k;
+  if (params_.max_features > 0 &&
+      static_cast<std::size_t>(params_.max_features) < k) {
+    tries = static_cast<std::size_t>(params_.max_features);
+    for (std::size_t i = 0; i < tries; ++i) {
+      const std::size_t j = i + rng.uniform_int(k - i);
+      std::swap(features[i], features[j]);
+    }
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = sse; // must strictly improve on no-split
+  const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
+
+  std::vector<std::pair<double, double>> column(n); // (feature value, target)
+  for (std::size_t fi = 0; fi < tries; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = indices[begin + i];
+      column[i] = {x(idx, f), y[idx]};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) {
+      continue; // constant feature in this node
+    }
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += column[i].second;
+      left_sq += column[i].second * column[i].second;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < min_leaf || nr < min_leaf) {
+        continue;
+      }
+      if (column[i].first == column[i + 1].first) {
+        continue; // cannot split between equal values
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double sse_left =
+          left_sq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      const double score = sse_left + sse_right;
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return make_leaf();
+  }
+
+  // Partition [begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) {
+        return x(idx, static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  DSEM_ASSERT(mid > begin && mid < end, "degenerate partition");
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{best_feature, best_threshold, -1, -1, mean});
+  const std::int32_t left = build(x, y, indices, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::predict_one(std::span<const double> x) const {
+  DSEM_ENSURE(!nodes_.empty(), "predict on unfitted DecisionTreeRegressor");
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) {
+      return n.value;
+    }
+    DSEM_ASSERT(static_cast<std::size_t>(n.feature) < x.size(),
+                "feature index out of range");
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                              : n.right);
+  }
+}
+
+} // namespace dsem::ml

@@ -1,0 +1,54 @@
+// CART regression tree: greedy variance-reduction splits, optional
+// per-node feature subsampling (the randomness random forests need).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ml/regressor.hpp"
+
+namespace dsem::ml {
+
+struct TreeParams {
+  int max_depth = 0;          ///< 0 = unlimited
+  int min_samples_split = 2;  ///< fewer samples => leaf
+  int min_samples_leaf = 1;   ///< each side of a split keeps at least this
+  int max_features = 0;       ///< features tried per node; 0 = all
+  std::uint64_t seed = 17;    ///< for feature subsampling
+};
+
+class DecisionTreeRegressor final : public Regressor {
+public:
+  explicit DecisionTreeRegressor(TreeParams params = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<DecisionTreeRegressor>(params_);
+  }
+  std::string name() const override { return "DecisionTree"; }
+
+  const TreeParams& params() const noexcept { return params_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  int depth() const noexcept { return depth_; }
+
+private:
+  struct Node {
+    // Leaves have feature == -1 and carry `value`.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;
+  };
+
+  std::int32_t build(const Matrix& x, std::span<const double> y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, Rng& rng);
+
+  TreeParams params_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+} // namespace dsem::ml

@@ -1,0 +1,89 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+
+Device::Device(DeviceSpec spec, NoiseConfig noise, std::uint64_t seed)
+    : spec_(std::move(spec)), noise_(noise), rng_(seed) {
+  validate(spec_);
+  DSEM_ENSURE(noise_.time_sigma >= 0.0 && noise_.energy_sigma >= 0.0,
+              "noise sigmas must be non-negative");
+  reset_frequency();
+}
+
+double Device::set_core_frequency(double mhz) {
+  const double snapped = spec_.core_frequencies.snap(mhz);
+  pinned_mhz_ = snapped;
+  return snapped;
+}
+
+void Device::set_auto_frequency() {
+  DSEM_ENSURE(spec_.auto_frequency_mhz > 0.0,
+              "device has no auto governor: " + spec_.name);
+  pinned_mhz_.reset();
+}
+
+void Device::reset_frequency() {
+  if (spec_.has_fixed_default()) {
+    pinned_mhz_ = spec_.core_frequencies.snap(spec_.default_core_frequency_mhz);
+  } else {
+    pinned_mhz_.reset();
+  }
+}
+
+double Device::current_frequency() const {
+  if (pinned_mhz_) {
+    return *pinned_mhz_;
+  }
+  return spec_.core_frequencies.snap(spec_.auto_frequency_mhz);
+}
+
+double Device::default_frequency() const {
+  if (spec_.has_fixed_default()) {
+    return spec_.core_frequencies.snap(spec_.default_core_frequency_mhz);
+  }
+  return spec_.core_frequencies.snap(spec_.auto_frequency_mhz);
+}
+
+LaunchResult Device::launch(const KernelProfile& kernel,
+                            std::size_t work_items) {
+  const double f = current_frequency();
+  const ExecutionBreakdown exec = execute(spec_, kernel, work_items, f);
+  const EnergyBreakdown e = energy(spec_, exec, f);
+
+  LaunchResult out;
+  out.frequency_mhz = f;
+  out.time_s = apply_noise(exec.total_s, noise_.time_sigma);
+  out.energy_j = apply_noise(e.total_j, noise_.energy_sigma);
+  out.avg_power_w = out.time_s > 0.0 ? out.energy_j / out.time_s : 0.0;
+
+  energy_j_ += out.energy_j;
+  busy_s_ += out.time_s;
+  ++launches_;
+  return out;
+}
+
+ExecutionBreakdown Device::analyze(const KernelProfile& kernel,
+                                   std::size_t work_items) const {
+  return execute(spec_, kernel, work_items, current_frequency());
+}
+
+void Device::reset_counters() noexcept {
+  energy_j_ = 0.0;
+  busy_s_ = 0.0;
+  launches_ = 0;
+}
+
+double Device::apply_noise(double value, double sigma) noexcept {
+  if (sigma <= 0.0) {
+    return value;
+  }
+  // Clamp at 4 sigma so a tail draw can never produce a negative reading.
+  const double n = std::clamp(rng_.normal(0.0, sigma), -4.0 * sigma, 4.0 * sigma);
+  return value * (1.0 + n);
+}
+
+} // namespace dsem::sim

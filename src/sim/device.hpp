@@ -1,0 +1,98 @@
+// Simulated GPU device: clocking state, kernel launches, energy counters.
+//
+// This is the stand-in for the physical V100/MI100 of the paper. It is the
+// *only* source of time and energy numbers in the system; everything above
+// (SYnergy layer, applications, models) treats it as opaque hardware.
+// Measurements carry seeded multiplicative Gaussian noise so the modelling
+// layer faces realistic, repeatable measurement error.
+//
+// Not thread-safe by design: like real hardware counters, a device is
+// driven from one submission context (a synergy::Queue serializes access).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/execution_model.hpp"
+#include "sim/power_model.hpp"
+
+namespace dsem::sim {
+
+struct NoiseConfig {
+  double time_sigma = 0.015;   ///< relative std-dev of time measurements
+  double energy_sigma = 0.015; ///< relative std-dev of energy measurements
+
+  static NoiseConfig none() noexcept { return {0.0, 0.0}; }
+};
+
+struct LaunchResult {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double frequency_mhz = 0.0; ///< core clock the launch actually ran at
+};
+
+class Device {
+public:
+  explicit Device(DeviceSpec spec, NoiseConfig noise = {},
+                  std::uint64_t seed = 0x5eed0001);
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  // --- clocking -----------------------------------------------------------
+
+  /// Pins the core clock to the nearest supported frequency; returns it.
+  double set_core_frequency(double mhz);
+
+  /// Returns clock control to the governor (AMD "auto" performance level);
+  /// only meaningful on devices without a fixed default.
+  void set_auto_frequency();
+
+  /// Resets to the device's default behaviour: the default application
+  /// clock on NVIDIA, the auto governor on AMD.
+  void reset_frequency();
+
+  bool is_auto() const noexcept { return !pinned_mhz_.has_value(); }
+
+  /// The core clock the next launch will run at.
+  double current_frequency() const;
+
+  /// Baseline clock used for speedup/normalized-energy: the fixed default
+  /// (NVIDIA) or the governor's pick (AMD).
+  double default_frequency() const;
+
+  // --- execution ----------------------------------------------------------
+
+  /// Simulates one kernel launch, advances the counters, and returns the
+  /// (noisy) measured time and energy of this launch.
+  LaunchResult launch(const KernelProfile& kernel, std::size_t work_items);
+
+  /// Noise-free timing breakdown at the current clock (for tests/analysis).
+  ExecutionBreakdown analyze(const KernelProfile& kernel,
+                             std::size_t work_items) const;
+
+  // --- counters (what NVML/ROCm-SMI-style energy readouts expose) ---------
+
+  double energy_joules() const noexcept { return energy_j_; }
+  double busy_seconds() const noexcept { return busy_s_; }
+  std::uint64_t launch_count() const noexcept { return launches_; }
+  void reset_counters() noexcept;
+
+  /// Reseed the measurement-noise stream (e.g., per experiment repetition).
+  void reseed(std::uint64_t seed) noexcept { rng_.reseed(seed); }
+
+private:
+  double apply_noise(double value, double sigma) noexcept;
+
+  DeviceSpec spec_;
+  NoiseConfig noise_;
+  Rng rng_;
+  std::optional<double> pinned_mhz_; ///< nullopt = auto/governed
+  double energy_j_ = 0.0;
+  double busy_s_ = 0.0;
+  std::uint64_t launches_ = 0;
+};
+
+} // namespace dsem::sim

@@ -1,0 +1,111 @@
+// Simulated device descriptions and datasheet-derived presets.
+//
+// The presets model the two GPUs of the paper (NVIDIA V100, AMD MI100)
+// from public datasheet numbers (SM/CU count, peak FLOP/s, bandwidth,
+// TDP, clock ranges). Efficiency factors account for achievable-vs-peak
+// throughput of the SYCL software stack on each vendor; they are the only
+// non-datasheet knobs and are documented per preset.
+#pragma once
+
+#include <string>
+
+#include "sim/frequency.hpp"
+
+namespace dsem::sim {
+
+enum class Vendor { kNvidia, kAmd, kIntel };
+
+std::string to_string(Vendor vendor);
+
+/// Per-op-class issue cost in lane-cycles (per operation).
+struct OpCosts {
+  double int_add = 1.0;
+  double int_mul = 1.0;
+  double int_div = 20.0;
+  double int_bw = 1.0;
+  double float_add = 1.0;
+  double float_mul = 1.0;
+  double float_div = 8.0;
+  double special_fn = 4.0;
+  /// Lane-cycles per byte of local/shared-memory traffic.
+  double local_byte = 0.25;
+};
+
+/// Piecewise voltage/frequency curve: flat at v_min below the knee, then a
+/// power-law rise to v_max at f_max. GPUs at max boost sit far past the
+/// efficiency knee, which is what makes up-clocking energy-expensive.
+struct VoltageCurve {
+  double v_min = 0.72;    ///< volts, held below the knee
+  double v_max = 1.20;    ///< volts at f_max
+  double knee_mhz = 900;  ///< frequency where voltage starts rising
+  double exponent = 1.3;  ///< shape of the rise
+};
+
+struct PowerSpec {
+  double static_w = 45.0;       ///< leakage + board, frequency-independent
+  double clock_max_w = 45.0;    ///< clock tree at (f_max, v_max), always on
+  double compute_max_w = 170.0; ///< all lanes busy at (f_max, v_max)
+  double mem_max_w = 55.0;      ///< DRAM interface at full bandwidth
+  VoltageCurve voltage;
+};
+
+struct DeviceSpec {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+
+  // Compute organisation.
+  int compute_units = 80;    ///< SMs (NVIDIA) / CUs (AMD)
+  int lanes_per_cu = 64;     ///< FP32 lanes per compute unit
+  double compute_efficiency = 0.75; ///< achievable fraction of peak issue
+  OpCosts op_costs;
+
+  // Memory system.
+  double mem_bandwidth_gbs = 900.0; ///< peak DRAM bandwidth
+  double mem_frequency_mhz = 1107.0;
+  double mem_latency_us = 1.2; ///< f-independent DRAM round-trip floor
+
+  // Launch/runtime behaviour.
+  double launch_overhead_us = 8.0; ///< driver + runtime per kernel launch
+  double latency_factor = 10.0;    ///< stall multiplier when undersubscribed
+  /// Cost of retargeting the core clock (PLL relock + driver call); paid
+  /// by the next launch after a frequency change (per-kernel DVFS).
+  double freq_switch_overhead_us = 12.0;
+
+  // Clocking.
+  FrequencySchedule core_frequencies;
+  double default_core_frequency_mhz = 0.0; ///< 0 = no fixed default (AMD)
+  double auto_frequency_mhz = 0.0;         ///< governor pick when auto
+
+  PowerSpec power;
+
+  int total_lanes() const noexcept { return compute_units * lanes_per_cu; }
+
+  /// Peak single-precision throughput at frequency f (GFLOP/s), counting
+  /// FMA as two operations, before the efficiency derating.
+  double peak_gflops(double core_mhz) const noexcept;
+
+  bool has_fixed_default() const noexcept {
+    return default_core_frequency_mhz > 0.0;
+  }
+};
+
+/// Throws dsem::contract_error when a spec is internally inconsistent.
+void validate(const DeviceSpec& spec);
+
+/// NVIDIA V100 SXM2 32 GB: 80 SMs x 64 lanes, 900 GB/s HBM2 at 1107 MHz,
+/// 196 core frequencies in [135, 1597] MHz, default application clock
+/// 1312 MHz, 300 W TDP.
+DeviceSpec v100();
+
+/// AMD MI100: 120 CUs x 64 lanes, 1228 GB/s HBM2 at 1200 MHz, core clocks
+/// [200, 1502] MHz, no fixed default — an "auto" performance level governs
+/// the clock (modelled at 1402 MHz under load), 300 W TDP.
+DeviceSpec mi100();
+
+/// Intel Data Center GPU Max 1100 (Ponte Vecchio): 56 Xe cores x 128
+/// lanes, 1229 GB/s HBM2e, core clocks [300, 1550] MHz with a 900 MHz
+/// default, 300 W TDP. Not part of the paper's evaluation; included
+/// because the SYnergy layer it models is a three-vendor API (§2.1).
+DeviceSpec intel_max1100();
+
+} // namespace dsem::sim

@@ -1,0 +1,67 @@
+#include "sim/execution_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+
+double ExecutionBreakdown::compute_utilization() const noexcept {
+  return exec_s > 0.0 ? std::min(1.0, compute_tp_s / exec_s) : 0.0;
+}
+
+double ExecutionBreakdown::memory_utilization() const noexcept {
+  return exec_s > 0.0 ? std::min(1.0, mem_bw_s / exec_s) : 0.0;
+}
+
+double cycles_per_item(const DeviceSpec& spec, const KernelProfile& kernel) {
+  const OpCosts& c = spec.op_costs;
+  return kernel.int_add * c.int_add + kernel.int_mul * c.int_mul +
+         kernel.int_div * c.int_div + kernel.int_bw * c.int_bw +
+         kernel.float_add * c.float_add + kernel.float_mul * c.float_mul +
+         kernel.float_div * c.float_div + kernel.special_fn * c.special_fn +
+         kernel.local_bytes * c.local_byte;
+}
+
+ExecutionBreakdown execute(const DeviceSpec& spec, const KernelProfile& kernel,
+                           std::size_t work_items, double core_mhz) {
+  DSEM_ENSURE(work_items > 0, "kernel launch with zero work items");
+  DSEM_ENSURE(core_mhz > 0.0, "core frequency must be positive");
+  validate(kernel);
+
+  const double f_hz = core_mhz * 1e6;
+  const double w = static_cast<double>(work_items);
+
+  ExecutionBreakdown b;
+  b.launch_s = spec.launch_overhead_us * 1e-6;
+
+  const double cpi = cycles_per_item(spec, kernel);
+  if (cpi > 0.0) {
+    const double lanes_eff =
+        static_cast<double>(spec.total_lanes()) * spec.compute_efficiency;
+    b.compute_tp_s = w * cpi / (lanes_eff * f_hz);
+    // The floor is one dependent chain's length: a work-item's cycles
+    // divided by its internal parallelism, stall-inflated. The blend with
+    // the throughput term is a smooth p-norm rather than a hard max —
+    // occupancy ramps gradually on real devices, and the smoothness keeps
+    // the runtime a continuous family over workload size (which the
+    // modeling layer interpolates across).
+    const double chain_cycles = cpi / kernel.intra_item_parallelism;
+    const double latency_floor = chain_cycles * spec.latency_factor / f_hz;
+    b.compute_s = std::hypot(b.compute_tp_s, latency_floor);
+  }
+
+  if (kernel.global_bytes > 0.0) {
+    const double bytes = w * kernel.global_bytes;
+    b.mem_bw_s = bytes / (spec.mem_bandwidth_gbs * 1e9);
+    const double latency_floor = spec.mem_latency_us * 1e-6;
+    b.mem_s = std::max(b.mem_bw_s, latency_floor);
+  }
+
+  b.exec_s = std::max(b.compute_s, b.mem_s);
+  b.total_s = b.launch_s + b.exec_s;
+  return b;
+}
+
+} // namespace dsem::sim

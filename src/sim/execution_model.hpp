@@ -1,0 +1,42 @@
+// Roofline-style kernel execution model.
+//
+// A kernel's runtime at core frequency f is the max of a compute term
+// (instruction work / effective issue rate, scaling 1/f) and a memory term
+// (DRAM traffic / bandwidth, f-independent because the memory clock is
+// fixed), each with a latency floor for undersubscribed launches, plus a
+// constant launch overhead. This structure is what produces the paper's
+// phenomenology: compute-bound kernels speed up with f, memory-bound ones
+// don't, and small workloads are overhead-bound and barely react to f.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/device_spec.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace dsem::sim {
+
+struct ExecutionBreakdown {
+  double launch_s = 0.0;      ///< constant driver/runtime overhead
+  double compute_tp_s = 0.0;  ///< throughput-limited compute time
+  double compute_s = 0.0;     ///< max(throughput, latency floor)
+  double mem_bw_s = 0.0;      ///< bandwidth-limited memory time
+  double mem_s = 0.0;         ///< max(bandwidth, latency floor)
+  double exec_s = 0.0;        ///< max(compute, mem): pipelines overlap
+  double total_s = 0.0;       ///< launch + exec
+
+  /// Fraction of exec time the compute pipes do throughput work (<= 1).
+  double compute_utilization() const noexcept;
+  /// Fraction of exec time the DRAM interface is saturated (<= 1).
+  double memory_utilization() const noexcept;
+};
+
+/// Lane-cycles of issue work per work-item for this kernel on this device.
+double cycles_per_item(const DeviceSpec& spec, const KernelProfile& kernel);
+
+/// Time breakdown for launching `work_items` items at `core_mhz`.
+/// Preconditions: work_items > 0, core_mhz > 0.
+ExecutionBreakdown execute(const DeviceSpec& spec, const KernelProfile& kernel,
+                           std::size_t work_items, double core_mhz);
+
+} // namespace dsem::sim

@@ -1,0 +1,73 @@
+#include "sim/frequency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+
+FrequencySchedule::FrequencySchedule(std::vector<double> frequencies_mhz)
+    : freqs_(std::move(frequencies_mhz)) {
+  DSEM_ENSURE(!freqs_.empty(), "empty frequency schedule");
+  for (double f : freqs_) {
+    DSEM_ENSURE(f > 0.0, "frequencies must be positive");
+  }
+  std::sort(freqs_.begin(), freqs_.end());
+  freqs_.erase(std::unique(freqs_.begin(), freqs_.end()), freqs_.end());
+}
+
+FrequencySchedule FrequencySchedule::linear(double lo_mhz, double hi_mhz,
+                                            std::size_t count) {
+  DSEM_ENSURE(count >= 2, "linear schedule needs at least two points");
+  DSEM_ENSURE(lo_mhz > 0.0 && hi_mhz > lo_mhz, "invalid frequency range");
+  std::vector<double> freqs(count);
+  const double step = (hi_mhz - lo_mhz) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    freqs[i] = lo_mhz + step * static_cast<double>(i);
+  }
+  return FrequencySchedule(std::move(freqs));
+}
+
+double FrequencySchedule::min() const {
+  DSEM_ENSURE(!freqs_.empty(), "empty schedule");
+  return freqs_.front();
+}
+
+double FrequencySchedule::max() const {
+  DSEM_ENSURE(!freqs_.empty(), "empty schedule");
+  return freqs_.back();
+}
+
+std::size_t FrequencySchedule::index_of(double mhz) const {
+  DSEM_ENSURE(!freqs_.empty(), "empty schedule");
+  const auto it = std::lower_bound(freqs_.begin(), freqs_.end(), mhz);
+  if (it == freqs_.begin()) {
+    return 0;
+  }
+  if (it == freqs_.end()) {
+    return freqs_.size() - 1;
+  }
+  const auto hi = static_cast<std::size_t>(it - freqs_.begin());
+  const std::size_t lo = hi - 1;
+  // Ties resolve downward: strict '<' keeps the lower frequency.
+  return (mhz - freqs_[lo]) < (freqs_[hi] - mhz) ? lo : hi;
+}
+
+double FrequencySchedule::snap(double mhz) const {
+  const std::size_t idx = index_of(mhz);
+  // index_of resolves exact midpoints to the higher index; prefer lower.
+  if (idx > 0 && std::abs(freqs_[idx - 1] - mhz) <= std::abs(freqs_[idx] - mhz)) {
+    return freqs_[idx - 1];
+  }
+  return freqs_[idx];
+}
+
+bool FrequencySchedule::contains(double mhz, double tol_mhz) const {
+  if (freqs_.empty()) {
+    return false;
+  }
+  return std::abs(snap(mhz) - mhz) <= tol_mhz;
+}
+
+} // namespace dsem::sim

@@ -1,0 +1,44 @@
+// Core-clock frequency schedules for simulated devices.
+//
+// Mirrors what NVML / ROCm SMI expose: a finite, sorted list of supported
+// core frequencies. The V100 in the paper exposes 196 core frequencies in
+// [135, 1597] MHz and a single memory frequency (1107 MHz).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsem::sim {
+
+class FrequencySchedule {
+public:
+  FrequencySchedule() = default;
+
+  /// Takes ownership of an arbitrary list; sorted ascending, deduplicated.
+  explicit FrequencySchedule(std::vector<double> frequencies_mhz);
+
+  /// Evenly spaced schedule of `count` frequencies spanning [lo, hi] MHz.
+  static FrequencySchedule linear(double lo_mhz, double hi_mhz,
+                                  std::size_t count);
+
+  std::span<const double> frequencies() const noexcept { return freqs_; }
+  std::size_t size() const noexcept { return freqs_.size(); }
+  bool empty() const noexcept { return freqs_.empty(); }
+
+  double min() const;
+  double max() const;
+
+  /// Closest supported frequency to the request (ties resolve downward).
+  double snap(double mhz) const;
+
+  /// Index of the closest supported frequency.
+  std::size_t index_of(double mhz) const;
+
+  bool contains(double mhz, double tol_mhz = 1e-9) const;
+
+private:
+  std::vector<double> freqs_;
+};
+
+} // namespace dsem::sim

@@ -1,0 +1,169 @@
+#include "sim/kernel_ir.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+
+std::string to_string(Op op) {
+  switch (op) {
+  case Op::kIAdd:
+    return "iadd";
+  case Op::kISub:
+    return "isub";
+  case Op::kIMul:
+    return "imul";
+  case Op::kIDiv:
+    return "idiv";
+  case Op::kAnd:
+    return "and";
+  case Op::kOr:
+    return "or";
+  case Op::kXor:
+    return "xor";
+  case Op::kShl:
+    return "shl";
+  case Op::kShr:
+    return "shr";
+  case Op::kFAdd:
+    return "fadd";
+  case Op::kFSub:
+    return "fsub";
+  case Op::kFMul:
+    return "fmul";
+  case Op::kFDiv:
+    return "fdiv";
+  case Op::kFma:
+    return "fma";
+  case Op::kSin:
+    return "sin";
+  case Op::kCos:
+    return "cos";
+  case Op::kTan:
+    return "tan";
+  case Op::kExp:
+    return "exp";
+  case Op::kLog:
+    return "log";
+  case Op::kSqrt:
+    return "sqrt";
+  case Op::kRsqrt:
+    return "rsqrt";
+  case Op::kPow:
+    return "pow";
+  case Op::kLoadGlobal:
+    return "ld.global";
+  case Op::kStoreGlobal:
+    return "st.global";
+  case Op::kLoadLocal:
+    return "ld.local";
+  case Op::kStoreLocal:
+    return "st.local";
+  }
+  return "?";
+}
+
+bool is_memory_op(Op op) noexcept {
+  switch (op) {
+  case Op::kLoadGlobal:
+  case Op::kStoreGlobal:
+  case Op::kLoadLocal:
+  case Op::kStoreLocal:
+    return true;
+  default:
+    return false;
+  }
+}
+
+KernelIr::KernelIr(std::string name) : name_(std::move(name)) {
+  DSEM_ENSURE(!name_.empty(), "kernel IR needs a name");
+}
+
+KernelIr& KernelIr::emit(Op op, double count) {
+  DSEM_ENSURE(!is_memory_op(op), "memory op requires emit_memory");
+  DSEM_ENSURE(std::isfinite(count) && count >= 0.0,
+              "instruction count must be finite and non-negative");
+  body_.push_back(Instruction{op, count, 0.0});
+  return *this;
+}
+
+KernelIr& KernelIr::emit_memory(Op op, double bytes, double count) {
+  DSEM_ENSURE(is_memory_op(op), "emit_memory requires a memory op");
+  DSEM_ENSURE(std::isfinite(bytes) && bytes > 0.0,
+              "memory op needs positive bytes");
+  DSEM_ENSURE(std::isfinite(count) && count >= 0.0,
+              "instruction count must be finite and non-negative");
+  body_.push_back(Instruction{op, count, bytes});
+  return *this;
+}
+
+KernelIr& KernelIr::parallelism(double intra_item) {
+  DSEM_ENSURE(intra_item >= 1.0, "intra-item parallelism must be >= 1");
+  intra_item_parallelism_ = intra_item;
+  return *this;
+}
+
+KernelProfile analyze(const KernelIr& ir) {
+  KernelProfile p;
+  p.name = ir.name();
+  p.intra_item_parallelism = ir.intra_item_parallelism_;
+  for (const Instruction& inst : ir.body()) {
+    const double n = inst.count;
+    switch (inst.op) {
+    case Op::kIAdd:
+    case Op::kISub:
+      p.int_add += n;
+      break;
+    case Op::kIMul:
+      p.int_mul += n;
+      break;
+    case Op::kIDiv:
+      p.int_div += n;
+      break;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+      p.int_bw += n;
+      break;
+    case Op::kFAdd:
+    case Op::kFSub:
+      p.float_add += n;
+      break;
+    case Op::kFMul:
+      p.float_mul += n;
+      break;
+    case Op::kFDiv:
+      p.float_div += n;
+      break;
+    case Op::kFma:
+      p.float_mul += n;
+      p.float_add += n;
+      break;
+    case Op::kSin:
+    case Op::kCos:
+    case Op::kTan:
+    case Op::kExp:
+    case Op::kLog:
+    case Op::kSqrt:
+    case Op::kRsqrt:
+    case Op::kPow:
+      p.special_fn += n;
+      break;
+    case Op::kLoadGlobal:
+    case Op::kStoreGlobal:
+      p.global_bytes += n * inst.bytes;
+      break;
+    case Op::kLoadLocal:
+    case Op::kStoreLocal:
+      p.local_bytes += n * inst.bytes;
+      break;
+    }
+  }
+  validate(p);
+  return p;
+}
+
+} // namespace dsem::sim

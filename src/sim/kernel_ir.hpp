@@ -1,0 +1,99 @@
+// Miniature kernel IR + static analyzer.
+//
+// Fan et al. derive their model features by *statically analyzing* device
+// code (PTX), not by profiling. This module provides the analogous path in
+// the simulator: kernels can be authored as an instruction-level IR, and
+// analyze() performs the static feature extraction that yields exactly the
+// Table 1 profile the rest of the system consumes. The micro-benchmark
+// corpus is authored this way (microbench/suite.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel_profile.hpp"
+
+namespace dsem::sim {
+
+enum class Op : std::uint8_t {
+  // Integer arithmetic.
+  kIAdd, kISub, kIMul, kIDiv,
+  // Integer bitwise.
+  kAnd, kOr, kXor, kShl, kShr,
+  // Floating point.
+  kFAdd, kFSub, kFMul, kFDiv,
+  kFma, ///< counted as one multiply plus one add
+  // Special function unit.
+  kSin, kCos, kTan, kExp, kLog, kSqrt, kRsqrt, kPow,
+  // Memory.
+  kLoadGlobal, kStoreGlobal, kLoadLocal, kStoreLocal,
+};
+
+std::string to_string(Op op);
+bool is_memory_op(Op op) noexcept;
+
+struct Instruction {
+  Op op = Op::kIAdd;
+  /// Dynamic execution count per work-item (loop trip counts folded in).
+  double count = 1.0;
+  /// Bytes per execution; memory operations only (others must leave 0).
+  double bytes = 0.0;
+};
+
+/// A kernel body as a flat instruction list with per-instruction counts —
+/// the shape a PTX-level pass produces after loop analysis.
+class KernelIr {
+public:
+  explicit KernelIr(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Instruction>& body() const noexcept { return body_; }
+  std::size_t size() const noexcept { return body_.size(); }
+
+  /// Appends `count` executions of an arithmetic instruction.
+  KernelIr& emit(Op op, double count = 1.0);
+  /// Appends `count` executions of a memory instruction moving `bytes` each.
+  KernelIr& emit_memory(Op op, double bytes, double count = 1.0);
+
+  // Convenience builders (counts per work-item).
+  KernelIr& iadd(double n = 1.0) { return emit(Op::kIAdd, n); }
+  KernelIr& imul(double n = 1.0) { return emit(Op::kIMul, n); }
+  KernelIr& idiv(double n = 1.0) { return emit(Op::kIDiv, n); }
+  KernelIr& bitwise(double n = 1.0) { return emit(Op::kXor, n); }
+  KernelIr& fadd(double n = 1.0) { return emit(Op::kFAdd, n); }
+  KernelIr& fmul(double n = 1.0) { return emit(Op::kFMul, n); }
+  KernelIr& fdiv(double n = 1.0) { return emit(Op::kFDiv, n); }
+  KernelIr& fma(double n = 1.0) { return emit(Op::kFma, n); }
+  KernelIr& special(double n = 1.0) { return emit(Op::kSqrt, n); }
+  KernelIr& load_global(double bytes, double n = 1.0) {
+    return emit_memory(Op::kLoadGlobal, bytes, n);
+  }
+  KernelIr& store_global(double bytes, double n = 1.0) {
+    return emit_memory(Op::kStoreGlobal, bytes, n);
+  }
+  KernelIr& load_local(double bytes, double n = 1.0) {
+    return emit_memory(Op::kLoadLocal, bytes, n);
+  }
+  KernelIr& store_local(double bytes, double n = 1.0) {
+    return emit_memory(Op::kStoreLocal, bytes, n);
+  }
+
+  /// Declares the work-item's internal parallelism (see KernelProfile).
+  KernelIr& parallelism(double intra_item);
+
+private:
+  std::string name_;
+  std::vector<Instruction> body_;
+  double intra_item_parallelism_ = 1.0;
+
+  friend KernelProfile analyze(const KernelIr& ir);
+};
+
+/// Static feature extraction: folds the instruction stream into the
+/// Table 1 profile (FMA contributes one float_mul and one float_add;
+/// subtractions count as additions, exactly as the paper's feature set
+/// defines them).
+KernelProfile analyze(const KernelIr& ir);
+
+} // namespace dsem::sim

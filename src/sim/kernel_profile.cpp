@@ -1,0 +1,85 @@
+#include "sim/kernel_profile.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+
+std::array<double, kNumStaticFeatures>
+KernelProfile::static_features() const noexcept {
+  return {int_add,   int_mul,   int_div,           int_bw,
+          float_add, float_mul, float_div,         special_fn,
+          global_bytes / 4.0,   local_bytes / 4.0};
+}
+
+double KernelProfile::total_ops() const noexcept {
+  return int_add + int_mul + int_div + int_bw + float_add + float_mul +
+         float_div + special_fn;
+}
+
+double KernelProfile::flops() const noexcept {
+  return float_add + float_mul + float_div + special_fn;
+}
+
+double KernelProfile::arithmetic_intensity() const noexcept {
+  if (global_bytes <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return flops() / global_bytes;
+}
+
+KernelProfile& KernelProfile::accumulate(const KernelProfile& other,
+                                         double weight) {
+  int_add += weight * other.int_add;
+  int_mul += weight * other.int_mul;
+  int_div += weight * other.int_div;
+  int_bw += weight * other.int_bw;
+  float_add += weight * other.float_add;
+  float_mul += weight * other.float_mul;
+  float_div += weight * other.float_div;
+  special_fn += weight * other.special_fn;
+  global_bytes += weight * other.global_bytes;
+  local_bytes += weight * other.local_bytes;
+  return *this;
+}
+
+KernelProfile KernelProfile::scaled(double factor) const {
+  KernelProfile out = *this;
+  out.int_add *= factor;
+  out.int_mul *= factor;
+  out.int_div *= factor;
+  out.int_bw *= factor;
+  out.float_add *= factor;
+  out.float_mul *= factor;
+  out.float_div *= factor;
+  out.special_fn *= factor;
+  out.global_bytes *= factor;
+  out.local_bytes *= factor;
+  return out;
+}
+
+void validate(const KernelProfile& profile) {
+  const auto check = [&](double v, const char* what) {
+    DSEM_ENSURE(std::isfinite(v) && v >= 0.0,
+                std::string("KernelProfile '") + profile.name + "': " + what +
+                    " must be finite and non-negative");
+  };
+  check(profile.int_add, "int_add");
+  check(profile.int_mul, "int_mul");
+  check(profile.int_div, "int_div");
+  check(profile.int_bw, "int_bw");
+  check(profile.float_add, "float_add");
+  check(profile.float_mul, "float_mul");
+  check(profile.float_div, "float_div");
+  check(profile.special_fn, "special_fn");
+  check(profile.global_bytes, "global_bytes");
+  check(profile.local_bytes, "local_bytes");
+  DSEM_ENSURE(std::isfinite(profile.intra_item_parallelism) &&
+                  profile.intra_item_parallelism >= 1.0,
+              "KernelProfile '" + profile.name +
+                  "': intra_item_parallelism must be >= 1");
+}
+
+} // namespace dsem::sim

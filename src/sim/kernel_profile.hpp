@@ -1,0 +1,74 @@
+// Kernel workload descriptors.
+//
+// A KernelProfile records, per work-item, the instruction mix and memory
+// traffic of a GPU kernel — exactly the static code features of Table 1 in
+// the paper (Fan et al.'s feature set). The execution model consumes these
+// to derive time; the general-purpose energy model consumes them (and only
+// them) as its feature vector, which is the crux of the paper: static
+// features carry no input-size information.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace dsem::sim {
+
+/// Names of the static features, in the order of Table 1.
+inline constexpr std::array<const char*, 10> kStaticFeatureNames = {
+    "int_add",   "int_mul",   "int_div",  "int_bw",    "float_add",
+    "float_mul", "float_div", "sf",       "gl_access", "loc_access",
+};
+
+inline constexpr std::size_t kNumStaticFeatures = kStaticFeatureNames.size();
+
+struct KernelProfile {
+  std::string name;
+
+  // Instruction counts per work-item (Table 1 features).
+  double int_add = 0.0;   ///< integer additions and subtractions
+  double int_mul = 0.0;   ///< integer multiplications
+  double int_div = 0.0;   ///< integer divisions
+  double int_bw = 0.0;    ///< integer bitwise operations
+  double float_add = 0.0; ///< floating point additions and subtractions
+  double float_mul = 0.0; ///< floating point multiplications
+  double float_div = 0.0; ///< floating point divisions
+  double special_fn = 0.0; ///< special functions (sin, cos, exp, sqrt, ...)
+
+  // Memory traffic per work-item, in bytes.
+  double global_bytes = 0.0; ///< DRAM traffic (f_{gl_access})
+  double local_bytes = 0.0;  ///< on-chip shared/local traffic (f_{loc_access})
+
+  /// How many independent sub-tasks one work-item decomposes into on the
+  /// device (>= 1). Bounds the dependent-chain length that sets the
+  /// latency floor of undersubscribed launches: a stencil cell is one
+  /// chain, but one "ligand" work-item fans out over restarts x atoms.
+  /// Not a Table 1 feature (it is not visible to static analysis).
+  double intra_item_parallelism = 1.0;
+
+  /// Static feature vector in Table 1 order. Memory features are reported
+  /// as access counts (4-byte words) as in the original feature set.
+  std::array<double, kNumStaticFeatures> static_features() const noexcept;
+
+  /// Total arithmetic operations per work-item.
+  double total_ops() const noexcept;
+
+  /// Floating point operations per work-item.
+  double flops() const noexcept;
+
+  /// Arithmetic intensity: flops per global byte (inf if no global bytes).
+  double arithmetic_intensity() const noexcept;
+
+  /// Element-wise accumulation (weighted), used to aggregate an
+  /// application's kernels into one profile for the general-purpose model.
+  KernelProfile& accumulate(const KernelProfile& other, double weight = 1.0);
+
+  /// Element-wise scaling of all per-item quantities.
+  KernelProfile scaled(double factor) const;
+};
+
+/// Throws dsem::contract_error unless all per-item quantities are finite
+/// and non-negative.
+void validate(const KernelProfile& profile);
+
+} // namespace dsem::sim

@@ -1,0 +1,138 @@
+#include "synergy/backend.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsem::synergy {
+
+namespace {
+
+std::vector<double> schedule_to_vector(const sim::DeviceSpec& spec) {
+  const auto freqs = spec.core_frequencies.frequencies();
+  return {freqs.begin(), freqs.end()};
+}
+
+std::uint64_t to_counter(double joules, double unit) {
+  return static_cast<std::uint64_t>(std::llround(joules / unit));
+}
+
+} // namespace
+
+// --- NVML ------------------------------------------------------------------
+
+NvmlBackend::NvmlBackend(sim::Device& device) : device_(&device) {
+  DSEM_ENSURE(device.spec().vendor == sim::Vendor::kNvidia,
+              "NvmlBackend requires an NVIDIA device");
+}
+
+std::vector<double> NvmlBackend::supported_core_frequencies() const {
+  return schedule_to_vector(device_->spec());
+}
+
+void NvmlBackend::set_core_frequency(double mhz) {
+  device_->set_core_frequency(mhz);
+}
+
+void NvmlBackend::reset_core_frequency() { device_->reset_frequency(); }
+
+double NvmlBackend::default_core_frequency() const {
+  return device_->default_frequency();
+}
+
+double NvmlBackend::current_core_frequency() const {
+  return device_->current_frequency();
+}
+
+std::uint64_t NvmlBackend::energy_counter() const {
+  return to_counter(device_->energy_joules(), energy_unit_joules());
+}
+
+sim::LaunchResult NvmlBackend::launch(const sim::KernelProfile& kernel,
+                                      std::size_t work_items) {
+  return device_->launch(kernel, work_items);
+}
+
+// --- ROCm SMI ----------------------------------------------------------------
+
+RocmSmiBackend::RocmSmiBackend(sim::Device& device) : device_(&device) {
+  DSEM_ENSURE(device.spec().vendor == sim::Vendor::kAmd,
+              "RocmSmiBackend requires an AMD device");
+}
+
+std::vector<double> RocmSmiBackend::supported_core_frequencies() const {
+  return schedule_to_vector(device_->spec());
+}
+
+void RocmSmiBackend::set_core_frequency(double mhz) {
+  device_->set_core_frequency(mhz);
+}
+
+void RocmSmiBackend::reset_core_frequency() { device_->set_auto_frequency(); }
+
+double RocmSmiBackend::default_core_frequency() const {
+  // No fixed default clock on AMD: the baseline is the governor's pick.
+  return device_->default_frequency();
+}
+
+double RocmSmiBackend::current_core_frequency() const {
+  return device_->current_frequency();
+}
+
+std::uint64_t RocmSmiBackend::energy_counter() const {
+  return to_counter(device_->energy_joules(), energy_unit_joules());
+}
+
+sim::LaunchResult RocmSmiBackend::launch(const sim::KernelProfile& kernel,
+                                         std::size_t work_items) {
+  return device_->launch(kernel, work_items);
+}
+
+// --- Level Zero ---------------------------------------------------------------
+
+LevelZeroBackend::LevelZeroBackend(sim::Device& device) : device_(&device) {
+  DSEM_ENSURE(device.spec().vendor == sim::Vendor::kIntel,
+              "LevelZeroBackend requires an Intel device");
+}
+
+std::vector<double> LevelZeroBackend::supported_core_frequencies() const {
+  return schedule_to_vector(device_->spec());
+}
+
+void LevelZeroBackend::set_core_frequency(double mhz) {
+  device_->set_core_frequency(mhz);
+}
+
+void LevelZeroBackend::reset_core_frequency() { device_->reset_frequency(); }
+
+double LevelZeroBackend::default_core_frequency() const {
+  return device_->default_frequency();
+}
+
+double LevelZeroBackend::current_core_frequency() const {
+  return device_->current_frequency();
+}
+
+std::uint64_t LevelZeroBackend::energy_counter() const {
+  return to_counter(device_->energy_joules(), energy_unit_joules());
+}
+
+sim::LaunchResult LevelZeroBackend::launch(const sim::KernelProfile& kernel,
+                                           std::size_t work_items) {
+  return device_->launch(kernel, work_items);
+}
+
+std::unique_ptr<Backend> make_backend(sim::Device& device) {
+  switch (device.spec().vendor) {
+  case sim::Vendor::kNvidia:
+    return std::make_unique<NvmlBackend>(device);
+  case sim::Vendor::kAmd:
+    return std::make_unique<RocmSmiBackend>(device);
+  case sim::Vendor::kIntel:
+    return std::make_unique<LevelZeroBackend>(device);
+  }
+  DSEM_ENSURE(false, "no backend for vendor: " + to_string(device.spec().vendor));
+  return nullptr; // unreachable
+}
+
+} // namespace dsem::synergy

@@ -1,0 +1,113 @@
+// Vendor-specific management backends (the NVML / ROCm SMI of the paper).
+//
+// Real DVFS is only reachable through per-vendor libraries with different
+// units and semantics: NVML exposes a fixed default application clock and
+// millijoule energy counters; ROCm SMI exposes performance levels with an
+// "auto" governor and a fixed-resolution energy accumulator. Each backend
+// here reproduces those vendor quirks over a simulated device, so the
+// portable layer above has something real to abstract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace dsem::synergy {
+
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  virtual std::string api_name() const = 0;
+  virtual const sim::DeviceSpec& spec() const = 0;
+
+  virtual std::vector<double> supported_core_frequencies() const = 0;
+  virtual void set_core_frequency(double mhz) = 0;
+  /// Return to the vendor's default clocking behaviour.
+  virtual void reset_core_frequency() = 0;
+  /// Clock used as the speedup / normalized-energy baseline.
+  virtual double default_core_frequency() const = 0;
+  virtual double current_core_frequency() const = 0;
+
+  /// Raw vendor energy counter and its resolution in joules.
+  virtual std::uint64_t energy_counter() const = 0;
+  virtual double energy_unit_joules() const = 0;
+
+  virtual sim::LaunchResult launch(const sim::KernelProfile& kernel,
+                                   std::size_t work_items) = 0;
+};
+
+/// NVML-flavoured backend: fixed default application clock, energy counter
+/// in millijoules (nvmlDeviceGetTotalEnergyConsumption semantics).
+class NvmlBackend final : public Backend {
+public:
+  explicit NvmlBackend(sim::Device& device);
+
+  std::string api_name() const override { return "NVML"; }
+  const sim::DeviceSpec& spec() const override { return device_->spec(); }
+  std::vector<double> supported_core_frequencies() const override;
+  void set_core_frequency(double mhz) override;
+  void reset_core_frequency() override;
+  double default_core_frequency() const override;
+  double current_core_frequency() const override;
+  std::uint64_t energy_counter() const override;
+  double energy_unit_joules() const override { return 1e-3; }
+  sim::LaunchResult launch(const sim::KernelProfile& kernel,
+                           std::size_t work_items) override;
+
+private:
+  sim::Device* device_; // non-owning; device outlives the backend
+};
+
+/// ROCm-SMI-flavoured backend: "auto" performance level instead of a fixed
+/// default clock; energy accumulator with 15.3 uJ resolution.
+class RocmSmiBackend final : public Backend {
+public:
+  explicit RocmSmiBackend(sim::Device& device);
+
+  std::string api_name() const override { return "ROCm SMI"; }
+  const sim::DeviceSpec& spec() const override { return device_->spec(); }
+  std::vector<double> supported_core_frequencies() const override;
+  void set_core_frequency(double mhz) override;
+  void reset_core_frequency() override; ///< returns to the auto governor
+  double default_core_frequency() const override;
+  double current_core_frequency() const override;
+  std::uint64_t energy_counter() const override;
+  double energy_unit_joules() const override { return 15.3e-6; }
+  sim::LaunchResult launch(const sim::KernelProfile& kernel,
+                           std::size_t work_items) override;
+
+private:
+  sim::Device* device_; // non-owning; device outlives the backend
+};
+
+/// Level-Zero-flavoured backend (Intel): fixed default clock via
+/// zesFrequencySetRange semantics; energy counter in microjoules
+/// (zes_power_energy_counter_t).
+class LevelZeroBackend final : public Backend {
+public:
+  explicit LevelZeroBackend(sim::Device& device);
+
+  std::string api_name() const override { return "Level Zero"; }
+  const sim::DeviceSpec& spec() const override { return device_->spec(); }
+  std::vector<double> supported_core_frequencies() const override;
+  void set_core_frequency(double mhz) override;
+  void reset_core_frequency() override;
+  double default_core_frequency() const override;
+  double current_core_frequency() const override;
+  std::uint64_t energy_counter() const override;
+  double energy_unit_joules() const override { return 1e-6; }
+  sim::LaunchResult launch(const sim::KernelProfile& kernel,
+                           std::size_t work_items) override;
+
+private:
+  sim::Device* device_; // non-owning; device outlives the backend
+};
+
+/// Picks the matching vendor backend for a simulated device.
+std::unique_ptr<Backend> make_backend(sim::Device& device);
+
+} // namespace dsem::synergy

@@ -1,0 +1,56 @@
+// Portable device handle (the SYnergy API role of the paper).
+//
+// One vendor-neutral interface for frequency control and energy readout,
+// backed by whichever vendor backend matches the hardware. Energy is always
+// reported in joules regardless of the vendor counter's native unit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synergy/backend.hpp"
+
+namespace dsem::synergy {
+
+class Device {
+public:
+  explicit Device(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)) {}
+
+  /// Convenience: wraps a simulated device with its matching backend.
+  explicit Device(sim::Device& simulated) : Device(make_backend(simulated)) {}
+
+  Device(Device&&) noexcept = default;
+  Device& operator=(Device&&) noexcept = default;
+
+  std::string name() const { return backend_->spec().name; }
+  std::string vendor_api() const { return backend_->api_name(); }
+  const sim::DeviceSpec& spec() const { return backend_->spec(); }
+
+  std::vector<double> supported_frequencies() const {
+    return backend_->supported_core_frequencies();
+  }
+  double default_frequency() const {
+    return backend_->default_core_frequency();
+  }
+  double current_frequency() const {
+    return backend_->current_core_frequency();
+  }
+
+  void set_frequency(double mhz) { backend_->set_core_frequency(mhz); }
+  void reset_frequency() { backend_->reset_core_frequency(); }
+
+  /// Cumulative device energy in joules (vendor counter, unit-converted).
+  double energy_joules() const {
+    return static_cast<double>(backend_->energy_counter()) *
+           backend_->energy_unit_joules();
+  }
+
+  Backend& backend() { return *backend_; }
+
+private:
+  std::unique_ptr<Backend> backend_;
+};
+
+} // namespace dsem::synergy

@@ -1,0 +1,93 @@
+#include "celerity/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::celerity {
+namespace {
+
+sim::KernelProfile work_kernel() {
+  sim::KernelProfile p;
+  p.name = "work";
+  p.float_add = 256.0;
+  p.global_bytes = 64.0;
+  return p;
+}
+
+TEST(TransferTime, LatencyPlusBandwidth) {
+  InterconnectSpec net;
+  net.bandwidth_gbs = 10.0;
+  net.latency_us = 5.0;
+  EXPECT_DOUBLE_EQ(transfer_time_s(net, 0.0), 0.0);
+  EXPECT_NEAR(transfer_time_s(net, 1e9), 5e-6 + 0.1, 1e-12);
+  // Small messages are latency-dominated.
+  EXPECT_NEAR(transfer_time_s(net, 8.0), 5e-6, 1e-8);
+}
+
+TEST(Cluster, BuildsRequestedRanks) {
+  Cluster cluster(sim::v100(), ClusterConfig{4, {}});
+  EXPECT_EQ(cluster.size(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.device(r).vendor_api(), "NVML");
+  }
+}
+
+TEST(Cluster, RanksAreIndependentDevices) {
+  Cluster cluster(sim::v100(), ClusterConfig{2, {}},
+                  sim::NoiseConfig::none());
+  synergy::Queue q0(cluster.device(0));
+  // Enough work that the NVML millijoule counter registers it.
+  q0.submit({work_kernel(), 1'000'000, {}});
+  EXPECT_GT(cluster.device(0).energy_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.device(1).energy_joules(), 0.0);
+}
+
+TEST(Cluster, BroadcastFrequencyControl) {
+  Cluster cluster(sim::v100(), ClusterConfig{3, {}});
+  cluster.set_frequency_all(700.0);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(cluster.device(r).current_frequency(), 700.0, 8.0);
+  }
+  cluster.reset_frequency_all();
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(cluster.device(r).current_frequency(),
+                cluster.device(r).default_frequency(), 8.0);
+  }
+}
+
+TEST(Cluster, TotalEnergySumsRanks) {
+  Cluster cluster(sim::v100(), ClusterConfig{3, {}},
+                  sim::NoiseConfig::none());
+  double expected = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    synergy::Queue queue(cluster.device(r));
+    queue.submit({work_kernel(), 10000, {}});
+    expected += cluster.device(r).energy_joules();
+  }
+  EXPECT_NEAR(cluster.total_device_energy_j(), expected, 1e-9);
+}
+
+TEST(Cluster, PerRankNoiseStreamsDiffer) {
+  Cluster cluster(sim::v100(), ClusterConfig{2, {}},
+                  sim::NoiseConfig{0.05, 0.05});
+  synergy::Queue q0(cluster.device(0));
+  synergy::Queue q1(cluster.device(1));
+  const auto a = q0.submit({work_kernel(), 10000, {}});
+  const auto b = q1.submit({work_kernel(), 10000, {}});
+  EXPECT_NE(a.time_s, b.time_s);
+}
+
+TEST(Cluster, ValidatesConfig) {
+  EXPECT_THROW(Cluster(sim::v100(), ClusterConfig{0, {}}), contract_error);
+  ClusterConfig bad{2, {}};
+  bad.network.bandwidth_gbs = 0.0;
+  EXPECT_THROW(Cluster(sim::v100(), bad), contract_error);
+  Cluster ok(sim::v100(), ClusterConfig{2, {}});
+  EXPECT_THROW(ok.device(2), contract_error);
+  EXPECT_THROW(ok.device(-1), contract_error);
+}
+
+} // namespace
+} // namespace dsem::celerity

@@ -1,0 +1,121 @@
+#include "celerity/distributed.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::celerity {
+namespace {
+
+Cluster make_cluster(int nodes) {
+  return Cluster(sim::v100(), ClusterConfig{nodes, {}},
+                 sim::NoiseConfig::none());
+}
+
+TEST(PartitionZ, EvenSplit) {
+  const Partition p = partition_z(64, 4);
+  ASSERT_EQ(p.ranks(), 4);
+  for (int z : p.z_cells) {
+    EXPECT_EQ(z, 16);
+  }
+}
+
+TEST(PartitionZ, RemainderSpreadsOverLeadingRanks) {
+  const Partition p = partition_z(10, 3);
+  EXPECT_EQ(p.z_cells, (std::vector<int>{4, 3, 3}));
+  EXPECT_EQ(std::accumulate(p.z_cells.begin(), p.z_cells.end(), 0), 10);
+}
+
+TEST(PartitionZ, Validation) {
+  EXPECT_THROW(partition_z(4, 8), dsem::contract_error);
+  EXPECT_THROW(partition_z(0, 1), dsem::contract_error);
+}
+
+TEST(HaloBytes, InteriorRankSendsBothFaces) {
+  const cronos::GridDims g{160, 64, 64};
+  const double one_face = 2.0 * 160.0 * 64.0 * 8.0 * 8.0; // 2-deep, 8 vars
+  EXPECT_DOUBLE_EQ(halo_bytes_per_exchange(g, 8, true, true), 2.0 * one_face);
+  EXPECT_DOUBLE_EQ(halo_bytes_per_exchange(g, 8, true, false), one_face);
+  EXPECT_DOUBLE_EQ(halo_bytes_per_exchange(g, 8, false, false), 0.0);
+}
+
+TEST(DistributedCronos, SingleNodeHasNoCommunication) {
+  Cluster cluster = make_cluster(1);
+  const auto stats =
+      run_distributed_cronos(cluster, {160, 64, 64}, 8, 3);
+  EXPECT_EQ(stats.steps, 3);
+  EXPECT_DOUBLE_EQ(stats.comm_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.network_energy_j, 0.0);
+  EXPECT_GT(stats.compute_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.makespan_s, stats.compute_time_s);
+}
+
+TEST(DistributedCronos, StrongScalingReducesMakespan) {
+  const cronos::GridDims g{160, 64, 64};
+  Cluster c1 = make_cluster(1);
+  Cluster c4 = make_cluster(4);
+  const auto s1 = run_distributed_cronos(c1, g, 8, 3);
+  const auto s4 = run_distributed_cronos(c4, g, 8, 3);
+  EXPECT_LT(s4.makespan_s, s1.makespan_s);
+  // But not super-linearly: at most 4x.
+  EXPECT_GT(s4.makespan_s, s1.makespan_s / 4.5);
+}
+
+TEST(DistributedCronos, CommunicationGrowsWithRanks) {
+  const cronos::GridDims g{160, 64, 64};
+  Cluster c2 = make_cluster(2);
+  Cluster c8 = make_cluster(8);
+  const auto s2 = run_distributed_cronos(c2, g, 8, 3);
+  const auto s8 = run_distributed_cronos(c8, g, 8, 3);
+  // Per-step halo time is identical (same face sizes) but the reduce tree
+  // deepens and energy scales with participating NICs.
+  EXPECT_GE(s8.comm_time_s, s2.comm_time_s);
+  EXPECT_GT(s8.network_energy_j, s2.network_energy_j);
+}
+
+TEST(DistributedCronos, ClusterEnergyExceedsSingleNode) {
+  // Static/clock power on more devices costs energy even at equal work.
+  const cronos::GridDims g{80, 32, 32};
+  Cluster c1 = make_cluster(1);
+  Cluster c8 = make_cluster(8);
+  const auto s1 = run_distributed_cronos(c1, g, 8, 5);
+  const auto s8 = run_distributed_cronos(c8, g, 8, 5);
+  EXPECT_GT(s8.total_energy_j(), s1.total_energy_j());
+}
+
+TEST(DistributedCronos, DeviceEnergyMatchesClusterCounters) {
+  Cluster cluster = make_cluster(4);
+  const double before = cluster.total_device_energy_j();
+  const auto stats = run_distributed_cronos(cluster, {40, 16, 16}, 8, 2);
+  EXPECT_NEAR(stats.device_energy_j,
+              cluster.total_device_energy_j() - before, 1e-9);
+}
+
+TEST(DistributedCronos, DownclockingTheClusterSavesEnergy) {
+  // The paper's single-GPU result carries over to the cluster: the large
+  // grid is memory-bound, so a cluster-wide down-clock saves energy at
+  // nearly no makespan cost.
+  const cronos::GridDims g{160, 64, 64};
+  Cluster def = make_cluster(4);
+  const auto s_def = run_distributed_cronos(def, g, 8, 3);
+
+  Cluster slow = make_cluster(4);
+  slow.set_frequency_all(800.0);
+  const auto s_slow = run_distributed_cronos(slow, g, 8, 3);
+
+  EXPECT_LT(s_slow.device_energy_j, s_def.device_energy_j * 0.95);
+  EXPECT_LT(s_slow.makespan_s, s_def.makespan_s * 1.05);
+}
+
+TEST(DistributedCronos, ValidatesArguments) {
+  Cluster cluster = make_cluster(2);
+  EXPECT_THROW(run_distributed_cronos(cluster, {8, 8, 1}, 8, 3),
+               dsem::contract_error); // fewer Z planes than ranks
+  EXPECT_THROW(run_distributed_cronos(cluster, {8, 8, 8}, 8, 0),
+               dsem::contract_error);
+}
+
+} // namespace
+} // namespace dsem::celerity

@@ -1,0 +1,118 @@
+#include "common/cli.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test", "test program");
+  cli.add_flag("verbose", "enable verbose output");
+  cli.add_option("count", "number of things", "10");
+  cli.add_option("rate", "a rate", "1.5");
+  cli.add_option("name", "a name", "default");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.option_int("count"), 10);
+  EXPECT_DOUBLE_EQ(cli.option_double("rate"), 1.5);
+  EXPECT_EQ(cli.option("name"), "default");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--count=42", "--name=zap"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.option_int("count"), 42);
+  EXPECT_EQ(cli.option("name"), "zap");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--count", "7"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.option_int("count"), 7);
+}
+
+TEST(Cli, FlagSetsTrue) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               contract_error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               contract_error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               contract_error);
+}
+
+TEST(Cli, NonNumericIntThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--count=abc"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.option_int("count"), contract_error);
+}
+
+TEST(Cli, NonNumericDoubleThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--rate=fast"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.option_double("rate"), contract_error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog", "input.txt", "--count=3", "extra"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser cli("p", "d");
+  cli.add_flag("x", "x");
+  EXPECT_THROW(cli.add_option("x", "x", "1"), contract_error);
+}
+
+TEST(Cli, QueryingWrongKindThrows) {
+  CliParser cli = make_parser();
+  const std::array argv = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_THROW(cli.flag("count"), contract_error);
+  EXPECT_THROW(cli.option("verbose"), contract_error);
+}
+
+} // namespace
+} // namespace dsem

@@ -1,0 +1,150 @@
+#include "common/statistics.hpp"
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::stats {
+namespace {
+
+TEST(Statistics, SumAndMean) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, SumOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(sum({}), 0.0);
+}
+
+TEST(Statistics, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), contract_error);
+}
+
+TEST(Statistics, KahanSummationStaysAccurate) {
+  std::vector<double> xs(1000000, 0.1);
+  EXPECT_NEAR(sum(xs), 100000.0, 1e-6);
+}
+
+TEST(Statistics, VarianceAndStddev) {
+  const std::array<double, 5> xs = {2.0, 4.0, 4.0, 4.0, 6.0};
+  // Sample variance: sum sq dev = 8, / 4 = 2.
+  EXPECT_DOUBLE_EQ(variance(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Statistics, VarianceOfSingletonIsZero) {
+  const std::array<double, 1> xs = {5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Statistics, MinMax) {
+  const std::array<double, 4> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  const std::array<double, 5> odd = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::array<double, 4> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Statistics, QuantileEndpoints) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  const std::array<double, 2> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Statistics, QuantileRejectsOutOfRange) {
+  const std::array<double, 2> xs = {0.0, 1.0};
+  EXPECT_THROW(quantile(xs, 1.5), contract_error);
+}
+
+TEST(Statistics, MaeRmse) {
+  const std::array<double, 3> truth = {1.0, 2.0, 3.0};
+  const std::array<double, 3> pred = {1.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), std::sqrt((0.0 + 1.0 + 4.0) / 3.0));
+}
+
+TEST(Statistics, MapeBasic) {
+  const std::array<double, 2> truth = {100.0, 200.0};
+  const std::array<double, 2> pred = {110.0, 180.0};
+  EXPECT_NEAR(mape(truth, pred), 0.1, 1e-12);
+}
+
+TEST(Statistics, MapeSkipsNearZeroTruth) {
+  const std::array<double, 3> truth = {0.0, 100.0, 100.0};
+  const std::array<double, 3> pred = {50.0, 110.0, 90.0};
+  EXPECT_NEAR(mape(truth, pred), 0.1, 1e-12);
+}
+
+TEST(Statistics, MapeAllZeroTruthThrows) {
+  const std::array<double, 2> truth = {0.0, 0.0};
+  const std::array<double, 2> pred = {1.0, 1.0};
+  EXPECT_THROW(mape(truth, pred), contract_error);
+}
+
+TEST(Statistics, R2PerfectPrediction) {
+  const std::array<double, 4> truth = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);
+}
+
+TEST(Statistics, R2MeanPredictionIsZero) {
+  const std::array<double, 4> truth = {1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r2(truth, pred), 0.0, 1e-12);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::array<double, 4> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Statistics, SizeMismatchThrows) {
+  const std::array<double, 2> a = {1.0, 2.0};
+  const std::array<double, 3> b = {1.0, 2.0, 3.0};
+  EXPECT_THROW(mae(a, b), contract_error);
+  EXPECT_THROW(rmse(a, b), contract_error);
+  EXPECT_THROW(mape(a, b), contract_error);
+}
+
+TEST(Accumulator, TracksMomentsAndExtremes) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 6.0}) {
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(i * 0.37) * 13.0 + 5.0;
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-9);
+}
+
+} // namespace
+} // namespace dsem::stats

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), contract_error);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_error);
+}
+
+TEST(Table, CsvOutputHasCommaSeparatedCells) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"text"});
+  t.add_row({"hello, world"});
+  t.add_row({"quote\"inside"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignedToWidestCell) {
+  Table t({"h", "i"});
+  t.add_row({"wide-cell-content", "x"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header_line;
+  std::getline(is, header_line);
+  // The second column header must start after the widest first-column cell.
+  EXPECT_GE(header_line.find('i'), std::string("wide-cell-content").size());
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(42LL), "42");
+  EXPECT_EQ(fmt(std::size_t{7}), "7");
+  EXPECT_EQ(fmt(-13LL), "-13");
+}
+
+TEST(Fmt, PercentCarriesSign) {
+  EXPECT_EQ(fmt_percent(0.123, 1), "+12.3%");
+  EXPECT_EQ(fmt_percent(-0.05, 1), "-5.0%");
+  EXPECT_EQ(fmt_percent(0.0, 1), "+0.0%");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Experiment 1");
+  EXPECT_NE(os.str().find("Experiment 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsem

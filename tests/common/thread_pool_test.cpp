@@ -1,0 +1,162 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dsem {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ExplicitThreadCountRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleElementRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 13) {
+                                throw std::runtime_error("unlucky");
+                              }
+                            },
+                            /*grain=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { ++calls; }, 100);
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ParallelForChunks, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(pool, 0, 97,
+                      [&](std::size_t lo, std::size_t hi) {
+                        std::lock_guard lock(m);
+                        chunks.emplace_back(lo, hi);
+                      },
+                      10);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_GT(hi, lo);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 97u);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const double sum = parallel_reduce(
+      pool, 1, 1001, 0.0,
+      [](std::size_t i) { return static_cast<double>(i); },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(sum, 500500.0);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(4);
+  std::vector<double> values(500);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 7919) % 499);
+  }
+  const double expected = *std::max_element(values.begin(), values.end());
+  const double got = parallel_reduce(
+      pool, 0, values.size(), 0.0,
+      [&](std::size_t i) { return values[i]; },
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const double got = parallel_reduce(
+      pool, 3, 3, 42.0, [](std::size_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+} // namespace
+} // namespace dsem

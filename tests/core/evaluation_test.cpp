@@ -1,0 +1,108 @@
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "microbench/suite.hpp"
+
+namespace dsem::core {
+namespace {
+
+class EvaluationTest : public ::testing::Test {
+protected:
+  EvaluationTest() : sim_dev_(sim::v100(), sim::NoiseConfig{0.01, 0.01}, 5),
+                     device_(sim_dev_) {
+    // Canonical grids plus intermediates (interpolating LOOCV folds).
+    for (int n : {10, 20, 30, 40, 60, 80, 120, 160}) {
+      workloads_.push_back(std::make_unique<CronosWorkload>(
+          cronos::GridDims{n, std::max(4, n * 2 / 5), std::max(4, n * 2 / 5)},
+          2));
+    }
+    const auto all = device_.supported_frequencies();
+    for (std::size_t i = 0; i < all.size(); i += 8) {
+      freqs_.push_back(all[i]);
+    }
+    dataset_ = build_dataset(device_, workloads_, 2, freqs_);
+    gp_.train(device_, microbench::make_suite(), 1, 16);
+  }
+
+  sim::Device sim_dev_;
+  synergy::Device device_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<double> freqs_;
+  Dataset dataset_;
+  GeneralPurposeModel gp_;
+};
+
+TEST_F(EvaluationTest, TruthCurvesNormalizeAtDefault) {
+  const TruthCurves t = truth_curves(dataset_, 0);
+  ASSERT_EQ(t.freqs_mhz.size(), freqs_.size());
+  // The default frequency is not in the strided list, but the curve must
+  // bracket speedup 1 around it.
+  EXPECT_LT(t.speedup.front(), 1.0);
+  EXPECT_GT(t.speedup.back(), 0.9);
+}
+
+TEST_F(EvaluationTest, AccuracyReportCoversAllGroupsByDefault) {
+  const auto report = evaluate_accuracy(dataset_, workloads_, gp_);
+  EXPECT_EQ(report.rows.size(), workloads_.size());
+}
+
+TEST_F(EvaluationTest, AccuracyReportHonoursSubset) {
+  const std::vector<std::string> subset = {workloads_[1]->name()};
+  const auto report = evaluate_accuracy(dataset_, workloads_, gp_, subset);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].input, workloads_[1]->name());
+}
+
+TEST_F(EvaluationTest, DomainSpecificBeatsGeneralPurpose) {
+  // The paper's headline on a reduced sweep: DS MAPE < GP MAPE on every
+  // reported (canonical) input.
+  const std::vector<std::string> reported = {"10x4x4", "20x8x8", "40x16x16",
+                                             "80x32x32", "160x64x64"};
+  const auto report = evaluate_accuracy(dataset_, workloads_, gp_, reported);
+  for (const auto& row : report.rows) {
+    EXPECT_LT(row.ds_speedup_mape, row.gp_speedup_mape) << row.input;
+    EXPECT_LT(row.ds_energy_mape, row.gp_energy_mape) << row.input;
+    EXPECT_LT(row.ds_speedup_mape, 0.05) << row.input;
+    EXPECT_LT(row.ds_energy_mape, 0.05) << row.input;
+  }
+  EXPECT_GT(report.worst_speedup_gain(), 1.0);
+  EXPECT_GT(report.worst_energy_gain(), 1.0);
+}
+
+TEST_F(EvaluationTest, ParetoEvaluationProducesConsistentFronts) {
+  const auto eval = evaluate_pareto(dataset_, workloads_,
+                                    workloads_.back()->name(), gp_);
+  EXPECT_FALSE(eval.true_front.empty());
+  EXPECT_FALSE(eval.ds_front.empty());
+  EXPECT_FALSE(eval.gp_front.empty());
+  EXPECT_EQ(eval.ds_cmp.true_size, eval.true_front.size());
+  EXPECT_EQ(eval.gp_cmp.true_size, eval.true_front.size());
+  for (std::size_t idx : eval.ds_front) {
+    EXPECT_LT(idx, eval.truth.freqs_mhz.size());
+  }
+}
+
+TEST_F(EvaluationTest, DsParetoCloserToTruthThanGp) {
+  const auto eval = evaluate_pareto(dataset_, workloads_,
+                                    workloads_.back()->name(), gp_);
+  // §5.2.2: the DS front approximates the true front at least as well.
+  EXPECT_LE(eval.ds_cmp.generational_distance,
+            eval.gp_cmp.generational_distance + 0.02);
+}
+
+TEST_F(EvaluationTest, MismatchedWorkloadListRejected) {
+  std::vector<std::unique_ptr<Workload>> short_list;
+  short_list.push_back(std::make_unique<CronosWorkload>(
+      cronos::GridDims{10, 4, 4}, 2));
+  EXPECT_THROW(evaluate_accuracy(dataset_, short_list, gp_),
+               dsem::contract_error);
+}
+
+TEST_F(EvaluationTest, UnknownTargetInputRejected) {
+  EXPECT_THROW(evaluate_pareto(dataset_, workloads_, "999x999x999", gp_),
+               dsem::contract_error);
+}
+
+} // namespace
+} // namespace dsem::core

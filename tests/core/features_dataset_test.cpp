@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/dataset.hpp"
+#include "core/features.hpp"
+
+namespace dsem::core {
+namespace {
+
+TEST(StaticFeatures, NormalizedToUnitSum) {
+  sim::KernelProfile p;
+  p.float_add = 30.0;
+  p.int_add = 10.0;
+  p.global_bytes = 40.0; // 10 accesses
+  const auto v = static_feature_vector(p);
+  ASSERT_EQ(v.size(), sim::kNumStaticFeatures);
+  double sum = 0.0;
+  for (double x : v) {
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(v[4], 0.6, 1e-12); // float_add fraction
+  EXPECT_NEAR(v[8], 0.2, 1e-12); // gl_access fraction
+}
+
+TEST(StaticFeatures, ScaleInvariant) {
+  sim::KernelProfile p;
+  p.float_mul = 5.0;
+  p.global_bytes = 20.0;
+  const auto a = static_feature_vector(p);
+  const auto b = static_feature_vector(p.scaled(1000.0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(StaticFeatures, ZeroWorkRejected) {
+  EXPECT_THROW(static_feature_vector(sim::KernelProfile{}), contract_error);
+}
+
+TEST(StaticFeatures, NamesMatchTable1) {
+  const auto names = static_feature_names();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names[0], "int_add");
+  EXPECT_EQ(names[7], "sf");
+  EXPECT_EQ(names[8], "gl_access");
+}
+
+TEST(WithFrequency, AppendsColumn) {
+  const auto v = with_frequency({1.0, 2.0}, 1312.0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.back(), 1312.0);
+}
+
+class DatasetTest : public ::testing::Test {
+protected:
+  DatasetTest() : sim_dev_(sim::v100(), sim::NoiseConfig::none()),
+                  device_(sim_dev_) {
+    workloads_.push_back(std::make_unique<CronosWorkload>(
+        cronos::GridDims{10, 4, 4}, 2));
+    workloads_.push_back(std::make_unique<CronosWorkload>(
+        cronos::GridDims{20, 8, 8}, 2));
+    workloads_.push_back(std::make_unique<CronosWorkload>(
+        cronos::GridDims{40, 16, 16}, 2));
+  }
+  sim::Device sim_dev_;
+  synergy::Device device_;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<double> freqs_ = {400.0, 800.0, 1200.0, 1597.0};
+};
+
+TEST_F(DatasetTest, ShapeMatchesWorkloadsTimesFrequencies) {
+  const Dataset ds = build_dataset(device_, workloads_, 1, freqs_);
+  EXPECT_EQ(ds.rows(), 12u);
+  EXPECT_EQ(ds.num_groups(), 3u);
+  EXPECT_EQ(ds.x.rows(), 12u);
+  EXPECT_EQ(ds.x.cols(), 4u); // 3 domain features + frequency
+}
+
+TEST_F(DatasetTest, RowsCarryDomainFeaturesAndFrequency) {
+  const Dataset ds = build_dataset(device_, workloads_, 1, freqs_);
+  // Second workload (20x8x8), third frequency.
+  const std::size_t row = 1 * freqs_.size() + 2;
+  EXPECT_DOUBLE_EQ(ds.x(row, 0), 20.0);
+  EXPECT_DOUBLE_EQ(ds.x(row, 1), 8.0);
+  EXPECT_DOUBLE_EQ(ds.x(row, 2), 8.0);
+  EXPECT_DOUBLE_EQ(ds.x(row, 3), 1200.0);
+  EXPECT_EQ(ds.groups[row], 1);
+}
+
+TEST_F(DatasetTest, GroupLookupAndRows) {
+  const Dataset ds = build_dataset(device_, workloads_, 1, freqs_);
+  EXPECT_EQ(ds.group_of("20x8x8"), 1);
+  EXPECT_THROW(ds.group_of("nope"), contract_error);
+  const auto rows = ds.rows_of_group(2);
+  EXPECT_EQ(rows.size(), freqs_.size());
+  for (std::size_t r : rows) {
+    EXPECT_EQ(ds.groups[r], 2);
+  }
+}
+
+TEST_F(DatasetTest, BaselinesRecordedPerGroup) {
+  const Dataset ds = build_dataset(device_, workloads_, 1, freqs_);
+  ASSERT_EQ(ds.group_default.size(), 3u);
+  for (const auto& base : ds.group_default) {
+    EXPECT_GT(base.time_s, 0.0);
+    EXPECT_GT(base.energy_j, 0.0);
+  }
+  for (double f : ds.default_freq_mhz) {
+    EXPECT_NEAR(f, 1312.0, 8.0);
+  }
+}
+
+TEST_F(DatasetTest, LargerGridsTakeLongerAtEveryFrequency) {
+  const Dataset ds = build_dataset(device_, workloads_, 1, freqs_);
+  for (std::size_t f = 0; f < freqs_.size(); ++f) {
+    const double small = ds.time_s[0 * freqs_.size() + f];
+    const double large = ds.time_s[2 * freqs_.size() + f];
+    EXPECT_GT(large, small);
+  }
+}
+
+TEST_F(DatasetTest, EmptyWorkloadListRejected) {
+  const std::vector<std::unique_ptr<Workload>> empty;
+  EXPECT_THROW(build_dataset(device_, empty, 1, freqs_), contract_error);
+}
+
+} // namespace
+} // namespace dsem::core

@@ -1,0 +1,113 @@
+#include "core/kernel_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+namespace {
+
+class KernelPlannerTest : public ::testing::Test {
+protected:
+  KernelPlannerTest() : sim_dev_(sim::v100(), sim::NoiseConfig::none()),
+                        device_(sim_dev_) {}
+  sim::Device sim_dev_;
+  synergy::Device device_;
+};
+
+TEST_F(KernelPlannerTest, PlanCoversEveryKernelOfTheWorkload) {
+  const CronosWorkload w({40, 16, 16}, 5);
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, 0.05, 1);
+  EXPECT_EQ(plan.freq_by_kernel.size(), 4u);
+  EXPECT_TRUE(plan.freq_by_kernel.contains("cronos::computeChanges"));
+  EXPECT_TRUE(plan.freq_by_kernel.contains("cronos::cflReduce"));
+  EXPECT_TRUE(plan.freq_by_kernel.contains("cronos::integrateTime"));
+  EXPECT_TRUE(plan.freq_by_kernel.contains("cronos::applyBoundary"));
+}
+
+TEST_F(KernelPlannerTest, PlannedFrequenciesAreSupported) {
+  const CronosWorkload w({40, 16, 16}, 5);
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, 0.10, 1);
+  for (const auto& [name, freq] : plan.freq_by_kernel) {
+    EXPECT_TRUE(device_.spec().core_frequencies.contains(
+        device_.spec().core_frequencies.snap(freq)))
+        << name;
+  }
+}
+
+TEST_F(KernelPlannerTest, MemoryBoundKernelDownclocked) {
+  // computeChanges on a large grid is memory-bound: its planned frequency
+  // must sit well below the default even at a tight slowdown budget.
+  const CronosWorkload w({160, 64, 64}, 5);
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, 0.02, 1);
+  EXPECT_LT(plan.freq_by_kernel.at("cronos::computeChanges"), 1100.0);
+  EXPECT_GT(plan.predicted_saving.at("cronos::computeChanges"), 0.05);
+}
+
+TEST_F(KernelPlannerTest, ZeroBudgetKeepsDefault) {
+  // With no slowdown allowed, a compute-bound kernel cannot move at all.
+  const LigenWorkload w(10000, 89, 20);
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, 0.0, 1);
+  EXPECT_NEAR(plan.freq_by_kernel.at("ligen::dock"),
+              device_.default_frequency(), 30.0);
+}
+
+TEST_F(KernelPlannerTest, PlannedRunSavesEnergyWithinBudget) {
+  const CronosWorkload w({160, 64, 64}, 5);
+  const double budget = 0.05;
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, budget, 1);
+  const Measurement def = measure_default(device_, w, 1);
+  const Measurement planned = measure_with_plan(device_, w, plan, 1);
+  EXPECT_LT(planned.energy_j, def.energy_j);
+  // Whole-run slowdown stays near the per-kernel budget (plus switch
+  // penalties, which are bounded by launches x switch overhead).
+  EXPECT_LT(planned.time_s, def.time_s * (1.0 + budget + 0.05));
+}
+
+TEST_F(KernelPlannerTest, PerKernelBeatsOrMatchesSingleFrequency) {
+  const CronosWorkload w({160, 64, 64}, 5);
+  const double budget = 0.15;
+  const KernelPlan plan = plan_kernel_frequencies(device_, w, budget, 1);
+  const Measurement planned = measure_with_plan(device_, w, plan, 1);
+
+  const Measurement def = measure_default(device_, w, 1);
+  double best_single = def.energy_j;
+  for (double f : device_.supported_frequencies()) {
+    const Measurement m = measure(device_, w, f, 1);
+    if (1.0 - def.time_s / m.time_s <= budget) {
+      best_single = std::min(best_single, m.energy_j);
+    }
+  }
+  EXPECT_LT(planned.energy_j, best_single * 1.03);
+}
+
+TEST_F(KernelPlannerTest, ValidatesArguments) {
+  const CronosWorkload w({10, 4, 4}, 2);
+  EXPECT_THROW(plan_kernel_frequencies(device_, w, -0.1, 1),
+               contract_error);
+  EXPECT_THROW(measure_with_plan(device_, w, KernelPlan{}, 1),
+               contract_error);
+}
+
+TEST_F(KernelPlannerTest, FrequencySwitchPenaltyCharged) {
+  // Two identical runs, one alternating frequencies per kernel: the
+  // alternating one must be slower by the accumulated switch cost.
+  const CronosWorkload w({20, 8, 8}, 5);
+  synergy::Queue steady(device_, synergy::ExecMode::kSimOnly);
+  steady.set_target_frequency(1000.0);
+  w.submit(steady);
+
+  device_.reset_frequency();
+  synergy::Queue alternating(device_, synergy::ExecMode::kSimOnly);
+  alternating.set_kernel_frequency_plan(
+      {{"cronos::computeChanges", 1000.0},
+       {"cronos::cflReduce", 1005.0},
+       {"cronos::integrateTime", 1000.0},
+       {"cronos::applyBoundary", 1005.0}});
+  w.submit(alternating);
+  // 1000 and 1005 snap to adjacent schedule entries -> real switches.
+  EXPECT_GT(alternating.total_time_s(), steady.total_time_s());
+}
+
+} // namespace
+} // namespace dsem::core

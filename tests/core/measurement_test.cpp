@@ -1,0 +1,125 @@
+#include "core/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+
+namespace dsem::core {
+namespace {
+
+class MeasurementTest : public ::testing::Test {
+protected:
+  MeasurementTest() : sim_dev_(sim::v100(), sim::NoiseConfig::none()),
+                      device_(sim_dev_), workload_({20, 8, 8}, 3) {}
+  sim::Device sim_dev_;
+  synergy::Device device_;
+  CronosWorkload workload_;
+};
+
+TEST_F(MeasurementTest, MeasureReturnsPositiveValues) {
+  const Measurement m = measure(device_, workload_, 1000.0, 1);
+  EXPECT_GT(m.time_s, 0.0);
+  EXPECT_GT(m.energy_j, 0.0);
+}
+
+TEST_F(MeasurementTest, MeasureRestoresDefaultClock) {
+  measure(device_, workload_, 500.0, 1);
+  EXPECT_NEAR(device_.current_frequency(), device_.default_frequency(), 8.0);
+}
+
+TEST_F(MeasurementTest, RepetitionsAverageNoise) {
+  sim::Device noisy_dev(sim::v100(), sim::NoiseConfig{0.05, 0.05}, 3);
+  synergy::Device noisy(noisy_dev);
+  const Measurement one = measure(noisy, workload_, 1000.0, 1);
+  const Measurement many = measure(noisy, workload_, 1000.0, 50);
+  const Measurement truth = measure(device_, workload_, 1000.0, 1);
+  // 50-repetition average should be closer to the noise-free value than a
+  // worst-case single draw bound.
+  EXPECT_LT(std::abs(many.time_s - truth.time_s) / truth.time_s, 0.02);
+  (void)one;
+}
+
+TEST_F(MeasurementTest, DefaultMeasurementUsesDefaultClock) {
+  const Measurement def = measure_default(device_, workload_, 1);
+  const Measurement pinned =
+      measure(device_, workload_, device_.default_frequency(), 1);
+  EXPECT_NEAR(def.time_s, pinned.time_s, def.time_s * 1e-12);
+}
+
+TEST_F(MeasurementTest, SweepCoversAllFrequenciesByDefault) {
+  const auto sweep = sweep_frequencies(device_, workload_, 1);
+  EXPECT_EQ(sweep.size(), 196u);
+  EXPECT_NEAR(sweep.front().freq_mhz, 135.0, 1e-9);
+  EXPECT_NEAR(sweep.back().freq_mhz, 1597.0, 1e-9);
+}
+
+TEST_F(MeasurementTest, SweepHonoursExplicitList) {
+  const std::vector<double> freqs = {500.0, 1000.0, 1500.0};
+  const auto sweep = sweep_frequencies(device_, workload_, 1, freqs);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[1].freq_mhz, 1000.0);
+}
+
+TEST_F(MeasurementTest, RejectsZeroRepetitions) {
+  EXPECT_THROW(measure(device_, workload_, 1000.0, 0), dsem::contract_error);
+}
+
+class CharacterizationTest : public MeasurementTest {};
+
+TEST_F(CharacterizationTest, BaselineNormalizesToUnity) {
+  const auto c = characterize(device_, workload_, 1);
+  const auto& at_default = c.at_freq(c.default_freq_mhz);
+  EXPECT_NEAR(at_default.speedup, 1.0, 1e-9);
+  EXPECT_NEAR(at_default.norm_energy, 1.0, 1e-9);
+}
+
+TEST_F(CharacterizationTest, PointsSortedByFrequency) {
+  const auto c = characterize(device_, workload_, 1);
+  for (std::size_t i = 1; i < c.points.size(); ++i) {
+    EXPECT_GT(c.points[i].freq_mhz, c.points[i - 1].freq_mhz);
+  }
+}
+
+TEST_F(CharacterizationTest, ParetoFlagsMatchFrontExtraction) {
+  const auto c = characterize(device_, workload_, 1);
+  const auto front = c.pareto_indices();
+  std::size_t flagged = 0;
+  for (const auto& p : c.points) {
+    if (p.pareto) {
+      ++flagged;
+    }
+  }
+  EXPECT_EQ(flagged, front.size());
+  for (std::size_t idx : front) {
+    EXPECT_TRUE(c.points[idx].pareto);
+  }
+}
+
+TEST_F(CharacterizationTest, SpeedupMonotoneNonDecreasingForComputeBound) {
+  // LiGen is compute-bound: pinning higher clocks never slows it down.
+  const LigenWorkload ligen(4096, 89, 20);
+  const auto c = characterize(device_, ligen, 1);
+  for (std::size_t i = 1; i < c.points.size(); ++i) {
+    EXPECT_GE(c.points[i].speedup, c.points[i - 1].speedup * 0.999);
+  }
+}
+
+TEST_F(CharacterizationTest, BestSavingHelpers) {
+  const auto c = characterize(device_, workload_, 1);
+  EXPECT_GE(c.best_energy_saving(1.0), c.best_energy_saving(0.02));
+  EXPECT_GE(c.best_speedup_gain(), 0.0);
+}
+
+TEST_F(CharacterizationTest, AmdBaselineIsAutoGovernor) {
+  sim::Device amd_sim(sim::mi100(), sim::NoiseConfig::none());
+  synergy::Device amd(amd_sim);
+  const auto c = characterize(amd, workload_, 1);
+  EXPECT_NEAR(c.default_freq_mhz, 1502.0, 10.0);
+  // Paper Fig. 10c/d: the auto frequency always performs best on AMD.
+  for (const auto& p : c.points) {
+    EXPECT_LE(p.speedup, 1.0 + 1e-9);
+  }
+}
+
+} // namespace
+} // namespace dsem::core

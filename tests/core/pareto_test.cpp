@@ -1,0 +1,126 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::core {
+namespace {
+
+TEST(ParetoFront, SinglePointIsTheFront) {
+  const std::vector<double> s = {1.0};
+  const std::vector<double> e = {1.0};
+  EXPECT_EQ(pareto_front(s, e), (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront, DominatedPointExcluded) {
+  // Point 1 dominates point 0 (faster AND cheaper).
+  const std::vector<double> s = {1.0, 1.2};
+  const std::vector<double> e = {1.0, 0.9};
+  EXPECT_EQ(pareto_front(s, e), (std::vector<std::size_t>{1}));
+}
+
+TEST(ParetoFront, TradeoffPointsAllKept) {
+  const std::vector<double> s = {0.8, 1.0, 1.2};
+  const std::vector<double> e = {0.7, 0.9, 1.3};
+  const auto front = pareto_front(s, e);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, ReturnedSortedByAscendingSpeedup) {
+  const std::vector<double> s = {1.2, 0.8, 1.0};
+  const std::vector<double> e = {1.3, 0.7, 0.9};
+  const auto front = pareto_front(s, e);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_LT(s[front[0]], s[front[1]]);
+  EXPECT_LT(s[front[1]], s[front[2]]);
+}
+
+TEST(ParetoFront, EqualSpeedupKeepsCheapest) {
+  const std::vector<double> s = {1.0, 1.0, 1.0};
+  const std::vector<double> e = {0.9, 0.8, 1.0};
+  EXPECT_EQ(pareto_front(s, e), (std::vector<std::size_t>{1}));
+}
+
+TEST(ParetoFront, FrontIsMutuallyNonDominating) {
+  // Pseudo-random cloud; verify the front property directly.
+  std::vector<double> s;
+  std::vector<double> e;
+  for (int i = 0; i < 100; ++i) {
+    s.push_back(0.5 + 0.01 * ((i * 37) % 97));
+    e.push_back(0.6 + 0.013 * ((i * 53) % 89));
+  }
+  const auto front = pareto_front(s, e);
+  ASSERT_FALSE(front.empty());
+  std::vector<double> fs;
+  std::vector<double> fe;
+  for (std::size_t idx : front) {
+    fs.push_back(s[idx]);
+    fe.push_back(e[idx]);
+  }
+  for (std::size_t idx : front) {
+    EXPECT_FALSE(is_dominated(s[idx], e[idx], fs, fe));
+  }
+  // And everything off the front is dominated by it.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::find(front.begin(), front.end(), i) == front.end()) {
+      EXPECT_TRUE(is_dominated(s[i], e[i], fs, fe)) << "point " << i;
+    }
+  }
+}
+
+TEST(ParetoFront, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(pareto_front({}, {}), contract_error);
+  const std::vector<double> s = {1.0};
+  const std::vector<double> e = {1.0, 2.0};
+  EXPECT_THROW(pareto_front(s, e), contract_error);
+}
+
+TEST(IsDominated, EqualPointNotDominated) {
+  const std::vector<double> fs = {1.0};
+  const std::vector<double> fe = {1.0};
+  EXPECT_FALSE(is_dominated(1.0, 1.0, fs, fe));
+  EXPECT_TRUE(is_dominated(0.9, 1.0, fs, fe));
+  EXPECT_TRUE(is_dominated(1.0, 1.1, fs, fe));
+  EXPECT_FALSE(is_dominated(1.1, 0.9, fs, fe));
+}
+
+TEST(ComparePareto, ExactMatchesCounted) {
+  const std::vector<double> s = {0.8, 1.0, 1.2, 1.1};
+  const std::vector<double> e = {0.7, 0.9, 1.3, 1.4};
+  const auto truth = pareto_front(s, e); // {0, 1, 2}
+  const std::vector<std::size_t> predicted = {0, 2, 3};
+  const auto cmp = compare_pareto(s, e, truth, predicted);
+  EXPECT_EQ(cmp.true_size, 3u);
+  EXPECT_EQ(cmp.predicted_size, 3u);
+  EXPECT_EQ(cmp.exact_matches, 2u);
+  EXPECT_GT(cmp.generational_distance, 0.0);
+}
+
+TEST(ComparePareto, PerfectPredictionHasZeroDistance) {
+  const std::vector<double> s = {0.8, 1.0, 1.2};
+  const std::vector<double> e = {0.7, 0.9, 1.3};
+  const auto truth = pareto_front(s, e);
+  const auto cmp = compare_pareto(s, e, truth, truth);
+  EXPECT_EQ(cmp.exact_matches, truth.size());
+  EXPECT_DOUBLE_EQ(cmp.generational_distance, 0.0);
+}
+
+TEST(ComparePareto, EmptyPredictionIsSafe) {
+  const std::vector<double> s = {1.0};
+  const std::vector<double> e = {1.0};
+  const auto truth = pareto_front(s, e);
+  const auto cmp = compare_pareto(s, e, truth, {});
+  EXPECT_EQ(cmp.predicted_size, 0u);
+  EXPECT_EQ(cmp.exact_matches, 0u);
+}
+
+TEST(ComparePareto, OutOfRangeIndexThrows) {
+  const std::vector<double> s = {1.0};
+  const std::vector<double> e = {1.0};
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(compare_pareto(s, e, {}, bad), contract_error);
+}
+
+} // namespace
+} // namespace dsem::core

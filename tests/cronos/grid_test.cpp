@@ -1,0 +1,85 @@
+#include "cronos/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsem::cronos {
+namespace {
+
+TEST(GridDims, CellCountAndName) {
+  const GridDims dims{160, 64, 64};
+  EXPECT_EQ(dims.cell_count(), 160u * 64u * 64u);
+  EXPECT_EQ(dims.to_string(), "160x64x64");
+}
+
+TEST(Field3D, FillAndIndex) {
+  Field3D f(GridDims{4, 3, 2}, 1.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 1.0);
+  f.at(1, 2, 3) = 9.0;
+  EXPECT_DOUBLE_EQ(f.at(1, 2, 3), 9.0);
+}
+
+TEST(Field3D, HaloCellsAddressable) {
+  Field3D f(GridDims{2, 2, 2});
+  f.at(-kGhost, -kGhost, -kGhost) = 1.0;
+  f.at(2 + kGhost - 1, 2 + kGhost - 1, 2 + kGhost - 1) = 2.0;
+  EXPECT_DOUBLE_EQ(f.at(-2, -2, -2), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(3, 3, 3), 2.0);
+}
+
+TEST(Field3D, DistinctCellsDoNotAlias) {
+  const GridDims dims{5, 4, 3};
+  Field3D f(dims);
+  double v = 0.0;
+  for (int z = -kGhost; z < dims.nz + kGhost; ++z) {
+    for (int y = -kGhost; y < dims.ny + kGhost; ++y) {
+      for (int x = -kGhost; x < dims.nx + kGhost; ++x) {
+        f.at(z, y, x) = v++;
+      }
+    }
+  }
+  v = 0.0;
+  for (int z = -kGhost; z < dims.nz + kGhost; ++z) {
+    for (int y = -kGhost; y < dims.ny + kGhost; ++y) {
+      for (int x = -kGhost; x < dims.nx + kGhost; ++x) {
+        EXPECT_DOUBLE_EQ(f.at(z, y, x), v++);
+      }
+    }
+  }
+}
+
+TEST(Field3D, InteriorSumIgnoresHalo) {
+  Field3D f(GridDims{2, 2, 2}, 0.0);
+  f.at(-1, 0, 0) = 100.0; // halo
+  f.at(0, 0, 0) = 1.0;
+  f.at(1, 1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 3.0);
+}
+
+TEST(Field3D, InteriorMaxAbs) {
+  Field3D f(GridDims{2, 2, 2}, 0.5);
+  f.at(1, 0, 1) = -7.0;
+  f.at(-2, -2, -2) = 100.0; // halo, ignored
+  EXPECT_DOUBLE_EQ(f.interior_max_abs(), 7.0);
+}
+
+TEST(Field3D, RejectsDegenerateDims) {
+  EXPECT_THROW(Field3D(GridDims{0, 1, 1}), dsem::contract_error);
+}
+
+TEST(State, CellGatherScatterRoundTrip) {
+  State s(GridDims{3, 3, 3}, 5);
+  const std::vector<double> in = {1.0, 2.0, 3.0, 4.0, 5.0};
+  s.set_cell(1, 2, 0, in);
+  std::vector<double> out(5);
+  s.cell(1, 2, 0, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(State, VariablesAreIndependentFields) {
+  State s(GridDims{2, 2, 2}, 2);
+  s.var(0).at(0, 0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(s.var(1).at(0, 0, 0), 0.0);
+}
+
+} // namespace
+} // namespace dsem::cronos

@@ -1,0 +1,91 @@
+#include "cronos/kernels.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cronos/problems.hpp"
+#include "cronos/solver.hpp"
+
+namespace dsem::cronos {
+namespace {
+
+TEST(CronosKernels, ProfilesAreValid) {
+  for (int nv : {1, 5, 8}) {
+    EXPECT_NO_THROW(sim::validate(compute_changes_profile(nv)));
+    EXPECT_NO_THROW(sim::validate(integrate_time_profile(nv)));
+    EXPECT_NO_THROW(sim::validate(apply_boundary_profile(nv)));
+  }
+  EXPECT_NO_THROW(sim::validate(cfl_reduce_profile()));
+}
+
+TEST(CronosKernels, ComputeChangesIsMemoryBoundOnV100) {
+  // The defining property of the Cronos workload in the paper: the stencil
+  // kernel sits left of the V100 roofline ridge at the default clock.
+  const auto spec = sim::v100();
+  const auto profile = compute_changes_profile(8);
+  const auto b = sim::execute(spec, profile, 160 * 64 * 64, 1312.0);
+  EXPECT_GT(b.mem_s, b.compute_s);
+}
+
+TEST(CronosKernels, CostScalesWithVariableCount) {
+  const auto small = compute_changes_profile(1);
+  const auto large = compute_changes_profile(8);
+  EXPECT_GT(large.flops(), small.flops() * 4.0);
+  EXPECT_GT(large.global_bytes, small.global_bytes * 4.0);
+}
+
+TEST(CronosKernels, GhostCellCountMatchesGeometry) {
+  const GridDims dims{8, 4, 2};
+  EXPECT_EQ(ghost_cell_count(dims),
+            static_cast<std::size_t>((8 + 4) * (4 + 4) * (2 + 4) - 8 * 4 * 2));
+}
+
+TEST(CronosKernels, SimOnlySubmissionMatchesSolverStepSequence) {
+  // The fast sweep path must submit exactly what Solver::step submits:
+  // same kernel names, same work-item counts, same order.
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+
+  SolverConfig config;
+  config.dims = {10, 4, 4};
+  Solver solver(std::make_shared<IdealMhdLaw>(5.0 / 3.0), config);
+  synergy::Queue solver_queue(device, synergy::ExecMode::kValidate);
+  solver.initialize(mhd_turbulence_ic(5.0 / 3.0));
+  solver.step(solver_queue);
+
+  synergy::Queue fast_queue(device, synergy::ExecMode::kSimOnly);
+  submit_step_kernels(fast_queue, config.dims, 8, 1);
+
+  ASSERT_EQ(solver_queue.records().size(), fast_queue.records().size());
+  for (std::size_t i = 0; i < fast_queue.records().size(); ++i) {
+    EXPECT_EQ(solver_queue.records()[i].kernel_name,
+              fast_queue.records()[i].kernel_name)
+        << "kernel " << i;
+    EXPECT_EQ(solver_queue.records()[i].work_items,
+              fast_queue.records()[i].work_items)
+        << "kernel " << i;
+  }
+}
+
+TEST(CronosKernels, MultiStepSubmissionScalesLinearly) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  synergy::Queue queue(device);
+  submit_step_kernels(queue, {20, 8, 8}, 8, 5);
+  EXPECT_EQ(queue.records().size(), 5u * 12u);
+}
+
+TEST(CronosKernels, LargerGridCostsMoreTimeAndEnergy) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  synergy::Queue q_small(device);
+  submit_step_kernels(q_small, {10, 4, 4}, 8, 1);
+  synergy::Queue q_large(device);
+  submit_step_kernels(q_large, {160, 64, 64}, 8, 1);
+  EXPECT_GT(q_large.total_time_s(), q_small.total_time_s());
+  EXPECT_GT(q_large.total_energy_j(), q_small.total_energy_j());
+}
+
+} // namespace
+} // namespace dsem::cronos

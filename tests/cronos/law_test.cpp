@@ -1,0 +1,165 @@
+#include "cronos/law.hpp"
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::cronos {
+namespace {
+
+TEST(AdvectionLaw, FluxIsVelocityTimesState) {
+  AdvectionLaw law({2.0, -1.0, 0.5});
+  const std::array<double, 1> u = {3.0};
+  std::array<double, 1> f{};
+  law.flux(Axis::kX, u, f);
+  EXPECT_DOUBLE_EQ(f[0], 6.0);
+  law.flux(Axis::kY, u, f);
+  EXPECT_DOUBLE_EQ(f[0], -3.0);
+  law.flux(Axis::kZ, u, f);
+  EXPECT_DOUBLE_EQ(f[0], 1.5);
+}
+
+TEST(AdvectionLaw, WavespeedIsAbsVelocity) {
+  AdvectionLaw law({2.0, -3.0, 0.0});
+  const std::array<double, 1> u = {1.0};
+  EXPECT_DOUBLE_EQ(law.max_wavespeed(Axis::kX, u), 2.0);
+  EXPECT_DOUBLE_EQ(law.max_wavespeed(Axis::kY, u), 3.0);
+  EXPECT_DOUBLE_EQ(law.max_wavespeed(Axis::kZ, u), 0.0);
+}
+
+TEST(BurgersLaw, FluxAndSpeed) {
+  BurgersLaw law;
+  const std::array<double, 1> u = {-4.0};
+  std::array<double, 1> f{};
+  law.flux(Axis::kX, u, f);
+  EXPECT_DOUBLE_EQ(f[0], 8.0);
+  EXPECT_DOUBLE_EQ(law.max_wavespeed(Axis::kZ, u), 4.0);
+}
+
+TEST(EulerLaw, ConservedPrimitiveRoundTrip) {
+  EulerLaw law(1.4);
+  const auto u = EulerLaw::conserved(1.2, {3.0, -1.0, 0.5}, 2.5, 1.4);
+  EXPECT_DOUBLE_EQ(u[0], 1.2);
+  EXPECT_DOUBLE_EQ(u[1], 3.6);
+  EXPECT_NEAR(law.pressure(u), 2.5, 1e-12);
+}
+
+TEST(EulerLaw, SoundSpeedMatchesFormula) {
+  EulerLaw law(1.4);
+  const auto u = EulerLaw::conserved(1.0, {0.0, 0.0, 0.0}, 1.0, 1.4);
+  EXPECT_NEAR(law.sound_speed(u), std::sqrt(1.4), 1e-12);
+}
+
+TEST(EulerLaw, FluxOfStaticStateIsPurePressure) {
+  EulerLaw law(1.4);
+  const auto u = EulerLaw::conserved(1.0, {0.0, 0.0, 0.0}, 2.0, 1.4);
+  std::array<double, 5> f{};
+  law.flux(Axis::kX, u, f);
+  EXPECT_DOUBLE_EQ(f[0], 0.0); // no mass flux
+  EXPECT_DOUBLE_EQ(f[1], 2.0); // pressure in the momentum component
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_DOUBLE_EQ(f[4], 0.0); // no energy flux
+}
+
+TEST(EulerLaw, GalileanMassFlux) {
+  EulerLaw law(1.4);
+  const auto u = EulerLaw::conserved(2.0, {3.0, 0.0, 0.0}, 1.0, 1.4);
+  std::array<double, 5> f{};
+  law.flux(Axis::kX, u, f);
+  EXPECT_DOUBLE_EQ(f[0], 6.0); // rho * v
+}
+
+TEST(EulerLaw, WavespeedIsSpeedPlusSound) {
+  EulerLaw law(1.4);
+  const auto u = EulerLaw::conserved(1.0, {2.0, 0.0, 0.0}, 1.0, 1.4);
+  EXPECT_NEAR(law.max_wavespeed(Axis::kX, u), 2.0 + std::sqrt(1.4), 1e-12);
+  EXPECT_NEAR(law.max_wavespeed(Axis::kY, u), std::sqrt(1.4), 1e-12);
+}
+
+TEST(EulerLaw, ValidateRejectsUnphysical) {
+  EulerLaw law(1.4);
+  std::array<double, 5> u = {-1.0, 0.0, 0.0, 0.0, 1.0};
+  EXPECT_THROW(law.validate_state(u), contract_error);
+  u = {1.0, 0.0, 0.0, 0.0, -1.0};
+  EXPECT_THROW(law.validate_state(u), contract_error);
+}
+
+TEST(EulerLaw, ReflectFlipsNormalMomentumOnly) {
+  EulerLaw law(1.4);
+  std::array<double, 5> u = {1.0, 2.0, 3.0, 4.0, 10.0};
+  law.reflect(Axis::kY, u);
+  EXPECT_DOUBLE_EQ(u[1], 2.0);
+  EXPECT_DOUBLE_EQ(u[2], -3.0);
+  EXPECT_DOUBLE_EQ(u[3], 4.0);
+}
+
+TEST(IdealMhdLaw, ReducesToEulerWithoutField) {
+  IdealMhdLaw mhd(1.4);
+  EulerLaw euler(1.4);
+  const auto um = IdealMhdLaw::conserved(1.3, {0.7, -0.2, 0.1}, 0.9,
+                                         {0.0, 0.0, 0.0}, 1.4);
+  const auto ue = EulerLaw::conserved(1.3, {0.7, -0.2, 0.1}, 0.9, 1.4);
+  std::array<double, 8> fm{};
+  std::array<double, 5> fe{};
+  mhd.flux(Axis::kX, um, fm);
+  euler.flux(Axis::kX, ue, fe);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(fm[i], fe[i], 1e-12);
+  }
+  EXPECT_NEAR(mhd.max_wavespeed(Axis::kX, um),
+              euler.max_wavespeed(Axis::kX, ue), 1e-12);
+}
+
+TEST(IdealMhdLaw, GasPressureSubtractsMagneticEnergy) {
+  IdealMhdLaw law(2.0);
+  const auto u =
+      IdealMhdLaw::conserved(1.0, {0.0, 0.0, 0.0}, 0.5, {1.0, 0.0, 0.0}, 2.0);
+  EXPECT_NEAR(law.gas_pressure(u), 0.5, 1e-12);
+}
+
+TEST(IdealMhdLaw, FastSpeedExceedsSoundAndAlfven) {
+  IdealMhdLaw law(5.0 / 3.0);
+  const auto u =
+      IdealMhdLaw::conserved(1.0, {0.0, 0.0, 0.0}, 1.0, {0.5, 0.5, 0.0},
+                             5.0 / 3.0);
+  const double a = std::sqrt(5.0 / 3.0);
+  const double alfven_x = 0.5;
+  EXPECT_GE(law.fast_speed(Axis::kX, u), a - 1e-12);
+  EXPECT_GE(law.fast_speed(Axis::kX, u), alfven_x);
+}
+
+TEST(IdealMhdLaw, NormalFieldHasZeroFlux) {
+  IdealMhdLaw law(5.0 / 3.0);
+  const auto u = IdealMhdLaw::conserved(1.0, {1.0, 2.0, 3.0}, 1.0,
+                                        {0.4, 0.5, 0.6}, 5.0 / 3.0);
+  std::array<double, 8> f{};
+  law.flux(Axis::kY, u, f);
+  EXPECT_DOUBLE_EQ(f[6], 0.0); // d/dy of By vanishes in ideal MHD flux
+}
+
+TEST(IdealMhdLaw, ReflectFlipsNormalMomentumAndField) {
+  IdealMhdLaw law(5.0 / 3.0);
+  std::array<double, 8> u = {1.0, 1.0, 2.0, 3.0, 10.0, 0.1, 0.2, 0.3};
+  law.reflect(Axis::kZ, u);
+  EXPECT_DOUBLE_EQ(u[3], -3.0);
+  EXPECT_DOUBLE_EQ(u[7], -0.3);
+  EXPECT_DOUBLE_EQ(u[1], 1.0);
+  EXPECT_DOUBLE_EQ(u[5], 0.1);
+}
+
+TEST(Laws, GammaValidation) {
+  EXPECT_THROW(EulerLaw law(1.0), contract_error);
+  EXPECT_THROW(IdealMhdLaw law(0.9), contract_error);
+}
+
+TEST(Laws, NonFiniteStateRejected) {
+  AdvectionLaw law({1.0, 0.0, 0.0});
+  const std::array<double, 1> u = {std::nan("")};
+  EXPECT_THROW(law.validate_state(u), contract_error);
+}
+
+} // namespace
+} // namespace dsem::cronos

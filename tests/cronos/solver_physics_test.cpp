@@ -1,0 +1,135 @@
+// Additional physics validation: reflecting-wall conservation, Euler
+// acoustic consistency, and multi-dimensional advection.
+#include "cronos/solver.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cronos/problems.hpp"
+
+namespace dsem::cronos {
+namespace {
+
+struct Harness {
+  Harness() : sim_dev(sim::v100(), sim::NoiseConfig::none()),
+              device(sim_dev), queue(device, synergy::ExecMode::kValidate) {}
+  sim::Device sim_dev;
+  synergy::Device device;
+  synergy::Queue queue;
+};
+
+TEST(SolverPhysics, ReflectingBoxConservesMassAndEnergy) {
+  Harness h;
+  SolverConfig config;
+  config.dims = {48, 1, 1};
+  config.boundaries = {BoundaryKind::kReflecting, BoundaryKind::kPeriodic,
+                       BoundaryKind::kPeriodic};
+  const double gamma = 1.4;
+  Solver solver(std::make_shared<EulerLaw>(gamma), config);
+  // A pressure pulse sloshing in a closed box.
+  solver.initialize([gamma](double x, double, double, std::span<double> u) {
+    const double p = 1.0 + 0.5 * std::exp(-80.0 * (x - 0.5) * (x - 0.5));
+    const auto s = EulerLaw::conserved(1.0, {0.0, 0.0, 0.0}, p, gamma);
+    std::copy(s.begin(), s.end(), u.begin());
+  });
+  const double mass0 = solver.state().var(0).interior_sum();
+  const double energy0 = solver.state().var(4).interior_sum();
+  solver.run_until(h.queue, 0.5);
+  // Mass is exactly conserved; total energy too (no flux through walls).
+  EXPECT_NEAR(solver.state().var(0).interior_sum(), mass0, mass0 * 1e-10);
+  EXPECT_NEAR(solver.state().var(4).interior_sum(), energy0,
+              energy0 * 1e-8);
+}
+
+TEST(SolverPhysics, ReflectedPulseReturnsMomentumToZero) {
+  Harness h;
+  SolverConfig config;
+  config.dims = {48, 1, 1};
+  config.boundaries = {BoundaryKind::kReflecting, BoundaryKind::kPeriodic,
+                       BoundaryKind::kPeriodic};
+  const double gamma = 1.4;
+  Solver solver(std::make_shared<EulerLaw>(gamma), config);
+  // A symmetric pulse: net momentum stays ~0 through reflections.
+  solver.initialize([gamma](double x, double, double, std::span<double> u) {
+    const double p = 1.0 + 0.5 * std::exp(-80.0 * (x - 0.5) * (x - 0.5));
+    const auto s = EulerLaw::conserved(1.0, {0.0, 0.0, 0.0}, p, gamma);
+    std::copy(s.begin(), s.end(), u.begin());
+  });
+  solver.run_until(h.queue, 0.4);
+  const double mx = solver.state().var(1).interior_sum();
+  EXPECT_NEAR(mx, 0.0, 1e-8);
+}
+
+TEST(SolverPhysics, AcousticWaveSpeedMatchesSoundSpeed) {
+  // A small right-going acoustic pulse travels at ~c_s = sqrt(gamma p/rho).
+  Harness h;
+  SolverConfig config;
+  config.dims = {256, 1, 1};
+  const double gamma = 1.4;
+  const double cs = std::sqrt(gamma);
+  Solver solver(std::make_shared<EulerLaw>(gamma), config);
+  const double eps = 1e-3;
+  solver.initialize([&](double x, double, double, std::span<double> u) {
+    const double bump = eps * std::exp(-300.0 * (x - 0.3) * (x - 0.3));
+    // Right-moving simple wave linearization.
+    const double rho = 1.0 + bump;
+    const double v = cs * bump;
+    const double p = 1.0 + gamma * bump;
+    const auto s = EulerLaw::conserved(rho, {v, 0.0, 0.0}, p, gamma);
+    std::copy(s.begin(), s.end(), u.begin());
+  });
+  const double t_end = 0.25;
+  solver.run_until(h.queue, t_end);
+  // Locate the density maximum: should have moved ~cs * t.
+  int best = 0;
+  double best_v = -1e9;
+  for (int x = 0; x < 256; ++x) {
+    const double v = solver.state().var(0).at(0, 0, x);
+    if (v > best_v) {
+      best_v = v;
+      best = x;
+    }
+  }
+  const double moved = (best + 0.5) / 256.0 - 0.3;
+  EXPECT_NEAR(moved, cs * t_end, 0.04);
+}
+
+TEST(SolverPhysics, DiagonalAdvectionMatchesAnalytic) {
+  Harness h;
+  const std::array<double, 3> vel = {1.0, 1.0, 0.0};
+  SolverConfig config;
+  config.dims = {64, 64, 1};
+  Solver solver(std::make_shared<AdvectionLaw>(vel), config);
+  const std::array<double, 3> center = {0.5, 0.5, 0.5};
+  solver.initialize(advection_gaussian(center, 0.1, 1.0));
+  solver.run_until(h.queue, 0.5);
+  double err = 0.0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const auto c = solver.cell_center(0, y, x);
+      const double expected = advected_gaussian_value(
+          c, center, 0.1, 1.0, 0.0, vel, 0.5, {1.0, 1.0, 1.0});
+      err += std::abs(solver.state().var(0).at(0, y, x) - expected);
+    }
+  }
+  EXPECT_LT(err / (64.0 * 64.0), 0.01);
+}
+
+TEST(SolverPhysics, MhdTurbulenceEnergyBudgetClosed) {
+  Harness h;
+  SolverConfig config;
+  config.dims = {16, 16, 16};
+  const double gamma = 5.0 / 3.0;
+  Solver solver(std::make_shared<IdealMhdLaw>(gamma), config);
+  solver.initialize(mhd_turbulence_ic(gamma));
+  const double total0 = solver.state().var(4).interior_sum();
+  solver.run(h.queue, 8);
+  // Total (gas + kinetic + magnetic) energy conserved under periodic BCs.
+  EXPECT_NEAR(solver.state().var(4).interior_sum(), total0,
+              std::abs(total0) * 1e-10);
+}
+
+} // namespace
+} // namespace dsem::cronos

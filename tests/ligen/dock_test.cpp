@@ -1,0 +1,184 @@
+#include "ligen/dock.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+namespace {
+
+class DockTest : public ::testing::Test {
+protected:
+  DockTest()
+      : protein_(Protein::generate_pocket(0xBEEF)), engine_(protein_) {}
+
+  Ligand make_ligand(int atoms = 31, int frags = 4, std::uint64_t seed = 1) {
+    Rng rng(seed);
+    return generate_ligand(atoms, frags, rng);
+  }
+
+  Protein protein_;
+  DockingEngine engine_;
+};
+
+TEST_F(DockTest, ParamsValidated) {
+  DockingParams bad;
+  bad.num_restart = 0;
+  EXPECT_THROW(validate(bad), contract_error);
+  bad = DockingParams{};
+  bad.angle_steps = 1;
+  EXPECT_THROW(validate(bad), contract_error);
+}
+
+TEST_F(DockTest, InitializePoseIsRigid) {
+  const Ligand lig = make_ligand();
+  const Pose pose = engine_.initialize_pose(lig, 0, 123);
+  ASSERT_EQ(pose.positions.size(), lig.atoms().size());
+  // Rigid transform: all pairwise distances preserved.
+  const auto orig = lig.positions();
+  for (std::size_t i = 0; i < orig.size(); i += 7) {
+    for (std::size_t j = i + 1; j < orig.size(); j += 5) {
+      EXPECT_NEAR(distance(pose.positions[i], pose.positions[j]),
+                  distance(orig[i], orig[j]), 1e-9);
+    }
+  }
+}
+
+TEST_F(DockTest, InitializePoseDeterministicPerRestart) {
+  const Ligand lig = make_ligand();
+  const Pose a = engine_.initialize_pose(lig, 3, 55);
+  const Pose b = engine_.initialize_pose(lig, 3, 55);
+  EXPECT_DOUBLE_EQ(a.positions[10].x, b.positions[10].x);
+  const Pose c = engine_.initialize_pose(lig, 4, 55);
+  EXPECT_NE(a.positions[10].x, c.positions[10].x);
+}
+
+TEST_F(DockTest, AlignCentersLigandInPocket) {
+  const Ligand lig = make_ligand();
+  Pose pose = engine_.initialize_pose(lig, 0, 9);
+  engine_.align(pose);
+  const Vec3 c = centroid(pose.positions);
+  const Vec3 target =
+      protein_.pocket_center() - protein_.pocket_axis() * 1.0;
+  EXPECT_NEAR(distance(c, target), 0.0, 1e-9);
+}
+
+TEST_F(DockTest, AlignIsRigid) {
+  const Ligand lig = make_ligand();
+  Pose pose = engine_.initialize_pose(lig, 0, 10);
+  const double d_before = distance(pose.positions[0], pose.positions[20]);
+  engine_.align(pose);
+  EXPECT_NEAR(distance(pose.positions[0], pose.positions[20]), d_before,
+              1e-9);
+}
+
+TEST_F(DockTest, OptimizeFragmentPreservesBondGeometry) {
+  const Ligand lig = make_ligand(40, 8, 3);
+  Pose pose = engine_.initialize_pose(lig, 0, 11);
+  engine_.align(pose);
+  engine_.optimize_fragment(pose, lig, lig.rotamers()[0]);
+  // Every bond length survives the fragment rotation.
+  for (const Bond& b : lig.bonds()) {
+    const double d = distance(pose.positions[static_cast<std::size_t>(b.a)],
+                              pose.positions[static_cast<std::size_t>(b.b)]);
+    EXPECT_NEAR(d, 1.5, 1e-9) << "bond " << b.a << "-" << b.b;
+  }
+}
+
+TEST_F(DockTest, OptimizeFragmentOnlyMovesMovingSet) {
+  const Ligand lig = make_ligand(40, 8, 4);
+  Pose pose = engine_.initialize_pose(lig, 0, 12);
+  engine_.align(pose);
+  const Pose before = pose;
+  const Rotamer& rot = lig.rotamers()[0];
+  engine_.optimize_fragment(pose, lig, rot);
+  std::set<int> moving(rot.moving_atoms.begin(), rot.moving_atoms.end());
+  for (std::size_t i = 0; i < pose.positions.size(); ++i) {
+    if (!moving.contains(static_cast<int>(i))) {
+      EXPECT_DOUBLE_EQ(pose.positions[i].x, before.positions[i].x)
+          << "static atom " << i << " moved";
+    }
+  }
+}
+
+TEST_F(DockTest, OptimizeFragmentNeverWorsensFragmentScore) {
+  const Ligand lig = make_ligand(50, 10, 5);
+  Pose pose = engine_.initialize_pose(lig, 0, 13);
+  engine_.align(pose);
+  for (const Rotamer& rot : lig.rotamers()) {
+    const double before = engine_.evaluate(pose);
+    Pose trial = pose;
+    engine_.optimize_fragment(trial, lig, rot);
+    // Whole-pose evaluate can only improve or stay: only the fragment's
+    // steric contribution changes and the optimizer includes angle 0.
+    EXPECT_GE(engine_.evaluate(trial), before - 1e-9);
+    pose = trial;
+  }
+}
+
+TEST_F(DockTest, DockReturnsSortedClippedPoses) {
+  const Ligand lig = make_ligand();
+  const auto poses = engine_.dock(lig, 77);
+  ASSERT_LE(poses.size(),
+            static_cast<std::size_t>(engine_.params().max_num_poses));
+  ASSERT_GE(poses.size(), 1u);
+  for (std::size_t i = 1; i < poses.size(); ++i) {
+    EXPECT_GE(poses[i - 1].score, poses[i].score);
+  }
+}
+
+TEST_F(DockTest, DockedPosesBeatRandomPlacement) {
+  const Ligand lig = make_ligand();
+  const auto poses = engine_.dock(lig, 88);
+  // A pose left far outside the pocket scores poorly.
+  Pose outside;
+  outside.positions = lig.positions();
+  for (Vec3& p : outside.positions) {
+    p += Vec3{30.0, 30.0, 30.0};
+  }
+  EXPECT_GT(poses.front().score, engine_.evaluate(outside));
+}
+
+TEST_F(DockTest, ScorePicksBestPose) {
+  const Ligand lig = make_ligand();
+  const auto poses = engine_.dock(lig, 99);
+  const double best = engine_.score(lig, poses);
+  for (const Pose& pose : poses) {
+    EXPECT_GE(best, engine_.compute_score(pose, lig) - 1e-12);
+  }
+}
+
+TEST_F(DockTest, DockAndScoreDeterministic) {
+  const Ligand lig = make_ligand();
+  EXPECT_DOUBLE_EQ(engine_.dock_and_score(lig, 123),
+                   engine_.dock_and_score(lig, 123));
+}
+
+TEST_F(DockTest, DifferentSeedsExploreDifferentPoses) {
+  const Ligand lig = make_ligand();
+  EXPECT_NE(engine_.dock_and_score(lig, 1), engine_.dock_and_score(lig, 2));
+}
+
+TEST_F(DockTest, ClashPenaltyReducesRefinedScore) {
+  const Ligand lig = make_ligand(20, 1, 6);
+  Pose folded;
+  folded.positions = lig.positions();
+  // Collapse all atoms near one point: heavy intra-ligand clash.
+  for (std::size_t i = 0; i < folded.positions.size(); ++i) {
+    folded.positions[i] = Vec3{0.05 * static_cast<double>(i), 0.0, 0.0};
+  }
+  Pose spread;
+  spread.positions = lig.positions();
+  EXPECT_LT(engine_.compute_score(folded, lig),
+            engine_.compute_score(spread, lig));
+}
+
+TEST_F(DockTest, ScoreWithNoPosesThrows) {
+  const Ligand lig = make_ligand();
+  EXPECT_THROW(engine_.score(lig, {}), contract_error);
+}
+
+} // namespace
+} // namespace dsem::ligen

@@ -1,0 +1,146 @@
+#include "ligen/geometry.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dsem::ligen {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ((a - b).y, -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).z, 6.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, CrossProductOrthogonal) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  const Vec3 z = x.cross(y);
+  EXPECT_NEAR(z.z, 1.0, kEps);
+  EXPECT_NEAR(z.dot(x), 0.0, kEps);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, kEps);
+}
+
+TEST(Vec3, NormalizeZeroVectorFallsBack) {
+  const Vec3 zero{};
+  EXPECT_NEAR(zero.normalized().norm(), 1.0, kEps);
+}
+
+TEST(RotateAboutAxis, QuarterTurnAboutZ) {
+  const Vec3 p{1.0, 0.0, 0.0};
+  const Vec3 r = rotate_about_axis(p, {0, 0, 0}, {0, 0, 1},
+                                   std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+}
+
+TEST(RotateAboutAxis, PreservesDistanceToAxis) {
+  const Vec3 origin{1.0, 2.0, 3.0};
+  const Vec3 axis = Vec3{1.0, 1.0, 0.0}.normalized();
+  const Vec3 p{4.0, -1.0, 2.0};
+  for (double angle : {0.3, 1.2, 2.9}) {
+    const Vec3 r = rotate_about_axis(p, origin, axis, angle);
+    const Vec3 d0 = p - origin;
+    const Vec3 d1 = r - origin;
+    EXPECT_NEAR(d0.norm(), d1.norm(), kEps);
+    EXPECT_NEAR(d0.dot(axis), d1.dot(axis), kEps);
+  }
+}
+
+TEST(RotateAboutAxis, FullTurnIsIdentity) {
+  const Vec3 p{0.5, -0.7, 1.1};
+  const Vec3 r = rotate_about_axis(p, {1, 1, 1}, {0, 1, 0},
+                                   2.0 * std::numbers::pi);
+  EXPECT_NEAR(r.x, p.x, kEps);
+  EXPECT_NEAR(r.y, p.y, kEps);
+  EXPECT_NEAR(r.z, p.z, kEps);
+}
+
+TEST(Centroid, AveragesPoints) {
+  const std::vector<Vec3> pts = {{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}};
+  const Vec3 c = centroid(pts);
+  EXPECT_NEAR(c.x, 0.5, kEps);
+  EXPECT_NEAR(c.y, 0.5, kEps);
+  EXPECT_NEAR(c.z, 0.5, kEps);
+}
+
+TEST(Covariance, DiagonalForAxisAlignedSpread) {
+  std::vector<Vec3> pts;
+  for (int i = -5; i <= 5; ++i) {
+    pts.push_back({static_cast<double>(i), 0.0, 0.0});
+  }
+  const Mat3 m = covariance(pts);
+  EXPECT_GT(m[0][0], 1.0);
+  EXPECT_NEAR(m[1][1], 0.0, kEps);
+  EXPECT_NEAR(m[0][1], 0.0, kEps);
+}
+
+TEST(EigenSymmetric, RecoversKnownEigenvalues) {
+  // diag(3, 2, 1) has trivially known decomposition.
+  const Mat3 m = {{{3, 0, 0}, {0, 2, 0}, {0, 0, 1}}};
+  const EigenResult e = eigen_symmetric(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-9);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(e.vectors[0].x), 1.0, 1e-9);
+}
+
+TEST(EigenSymmetric, OffDiagonalCase) {
+  // [[2,1],[1,2]] block: eigenvalues 3 and 1.
+  const Mat3 m = {{{2, 1, 0}, {1, 2, 0}, {0, 0, 5}}};
+  const EigenResult e = eigen_symmetric(m);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-9);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-9);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-9);
+}
+
+TEST(EigenSymmetric, VectorsAreOrthonormal) {
+  const Mat3 m = {{{4, 1, 0.5}, {1, 3, 0.2}, {0.5, 0.2, 2}}};
+  const EigenResult e = eigen_symmetric(m);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(e.vectors[static_cast<std::size_t>(i)].norm(), 1.0, 1e-9);
+    for (int j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(e.vectors[static_cast<std::size_t>(i)].dot(
+                      e.vectors[static_cast<std::size_t>(j)]),
+                  0.0, 1e-9);
+    }
+  }
+}
+
+TEST(RotateAlign, MapsFromOntoTo) {
+  const Vec3 from{1.0, 0.0, 0.0};
+  const Vec3 to = Vec3{1.0, 1.0, 1.0}.normalized();
+  const Vec3 r = rotate_align(from, {0, 0, 0}, from, to);
+  EXPECT_NEAR(r.x, to.x, 1e-9);
+  EXPECT_NEAR(r.y, to.y, 1e-9);
+  EXPECT_NEAR(r.z, to.z, 1e-9);
+}
+
+TEST(RotateAlign, ParallelVectorsNoop) {
+  const Vec3 p{2.0, 3.0, 4.0};
+  const Vec3 r = rotate_align(p, {0, 0, 0}, {0, 0, 1}, {0, 0, 1});
+  EXPECT_NEAR(r.x, p.x, kEps);
+}
+
+TEST(RotateAlign, AntiparallelVectorsReverse) {
+  const Vec3 p{0.0, 0.0, 1.0};
+  const Vec3 r = rotate_align(p, {0, 0, 0}, {0, 0, 1}, {0, 0, -1});
+  EXPECT_NEAR(r.z, -1.0, 1e-9);
+}
+
+} // namespace
+} // namespace dsem::ligen

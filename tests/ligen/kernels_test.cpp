@@ -1,0 +1,81 @@
+#include "ligen/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsem::ligen {
+namespace {
+
+TEST(LigenKernels, ProfilesAreValid) {
+  for (int atoms : {31, 89}) {
+    for (int frags : {4, 20}) {
+      EXPECT_NO_THROW(sim::validate(dock_profile(atoms, frags, {})));
+    }
+    EXPECT_NO_THROW(sim::validate(score_profile(atoms, {})));
+  }
+}
+
+TEST(LigenKernels, DockIsComputeBoundOnV100) {
+  // The defining property of the LiGen workload in the paper.
+  const auto spec = sim::v100();
+  const auto profile = dock_profile(89, 20, {});
+  const auto b = sim::execute(spec, profile, 10000, 1312.0);
+  EXPECT_GT(b.compute_s, 10.0 * b.mem_s);
+}
+
+TEST(LigenKernels, CostScalesLinearlyInFragments) {
+  const double f4 = dock_profile(89, 4, {}).flops();
+  const double f8 = dock_profile(89, 8, {}).flops();
+  const double f16 = dock_profile(89, 16, {}).flops();
+  EXPECT_NEAR(f8 / f4, 2.0, 0.1);
+  EXPECT_NEAR(f16 / f8, 2.0, 0.1);
+}
+
+TEST(LigenKernels, CostScalesLinearlyInAtoms) {
+  const double a31 = dock_profile(31, 8, {}).flops();
+  const double a62 = dock_profile(62, 8, {}).flops();
+  EXPECT_NEAR(a62 / a31, 2.0, 0.1);
+}
+
+TEST(LigenKernels, CostScalesWithDockingParams) {
+  DockingParams heavy;
+  heavy.num_restart = 16;
+  const double base = dock_profile(31, 4, {}).flops();
+  const double doubled = dock_profile(31, 4, heavy).flops();
+  EXPECT_GT(doubled, base * 1.8);
+}
+
+TEST(LigenKernels, IntraItemParallelismScalesWithAtoms) {
+  const auto small = dock_profile(10, 2, {});
+  const auto large = dock_profile(80, 2, {});
+  EXPECT_GT(large.intra_item_parallelism, small.intra_item_parallelism * 4.0);
+  EXPECT_GE(small.intra_item_parallelism, 1.0);
+}
+
+TEST(LigenKernels, SubmitBatchesCoversAllLigands) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  synergy::Queue queue(device);
+  submit_screening_kernels(queue, 10000, 31, 4, {}, 4096);
+  // ceil(10000/4096) = 3 batches x 2 kernels.
+  ASSERT_EQ(queue.records().size(), 6u);
+  std::size_t docked = 0;
+  for (const auto& r : queue.records()) {
+    if (r.kernel_name == "ligen::dock") {
+      docked += r.work_items;
+    }
+  }
+  EXPECT_EQ(docked, 10000u);
+}
+
+TEST(LigenKernels, MoreLigandsCostMoreEnergy) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  synergy::Queue q_small(device);
+  submit_screening_kernels(q_small, 256, 31, 4, {});
+  synergy::Queue q_large(device);
+  submit_screening_kernels(q_large, 10000, 31, 4, {});
+  EXPECT_GT(q_large.total_energy_j(), q_small.total_energy_j() * 5.0);
+}
+
+} // namespace
+} // namespace dsem::ligen

@@ -1,0 +1,140 @@
+#include "ligen/molecule.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+namespace {
+
+TEST(GenerateLigand, HasRequestedStructure) {
+  Rng rng(1);
+  const Ligand lig = generate_ligand(31, 4, rng);
+  EXPECT_EQ(lig.num_atoms(), 31);
+  EXPECT_EQ(lig.num_fragments(), 4);
+  EXPECT_EQ(lig.rotamers().size(), 3u);
+  EXPECT_EQ(lig.bonds().size(), 30u);
+}
+
+TEST(GenerateLigand, PaperSizesAllGeneratable) {
+  // Every (atoms, fragments) combination of the paper's experiment grid.
+  for (int atoms : {31, 63, 71, 74, 89}) {
+    for (int frags : {4, 8, 16, 20}) {
+      Rng rng(static_cast<std::uint64_t>(atoms * 100 + frags));
+      EXPECT_NO_THROW({
+        const Ligand lig = generate_ligand(atoms, frags, rng);
+        validate(lig);
+      }) << atoms << "x" << frags;
+    }
+  }
+}
+
+TEST(GenerateLigand, BondLengthsArePhysical) {
+  Rng rng(2);
+  const Ligand lig = generate_ligand(40, 6, rng);
+  for (const Bond& b : lig.bonds()) {
+    const double d = distance(lig.atoms()[static_cast<std::size_t>(b.a)].position,
+                              lig.atoms()[static_cast<std::size_t>(b.b)].position);
+    EXPECT_NEAR(d, 1.5, 1e-9);
+  }
+}
+
+TEST(GenerateLigand, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  const Ligand la = generate_ligand(25, 3, a);
+  const Ligand lb = generate_ligand(25, 3, b);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(la.atoms()[static_cast<std::size_t>(i)].position.x,
+                     lb.atoms()[static_cast<std::size_t>(i)].position.x);
+  }
+}
+
+TEST(GenerateLigand, RotamerMovingSetsAreProperSubsets) {
+  Rng rng(3);
+  const Ligand lig = generate_ligand(50, 8, rng);
+  for (const Rotamer& rot : lig.rotamers()) {
+    EXPECT_GE(rot.moving_atoms.size(), 1u);
+    EXPECT_LT(rot.moving_atoms.size(), static_cast<std::size_t>(50));
+    // Moving set excludes the bond's base atom.
+    const Bond& bond = lig.bonds()[static_cast<std::size_t>(rot.bond)];
+    EXPECT_EQ(std::count(rot.moving_atoms.begin(), rot.moving_atoms.end(),
+                         bond.a),
+              0);
+    EXPECT_EQ(std::count(rot.moving_atoms.begin(), rot.moving_atoms.end(),
+                         bond.b),
+              1);
+  }
+}
+
+TEST(GenerateLigand, SingleFragmentHasNoRotamers) {
+  Rng rng(4);
+  const Ligand lig = generate_ligand(10, 1, rng);
+  EXPECT_TRUE(lig.rotamers().empty());
+}
+
+TEST(GenerateLigand, TooManyFragmentsThrows) {
+  Rng rng(5);
+  EXPECT_THROW(generate_ligand(4, 10, rng), contract_error);
+}
+
+TEST(GenerateLigand, MinimumSizeValidation) {
+  Rng rng(6);
+  EXPECT_THROW(generate_ligand(1, 1, rng), contract_error);
+  EXPECT_THROW(generate_ligand(10, 0, rng), contract_error);
+}
+
+TEST(GenerateLibrary, CountAndUniformStructure) {
+  const auto lib = generate_library(20, 31, 4, 99);
+  ASSERT_EQ(lib.size(), 20u);
+  for (const Ligand& lig : lib) {
+    EXPECT_EQ(lig.num_atoms(), 31);
+    EXPECT_EQ(lig.num_fragments(), 4);
+  }
+}
+
+TEST(GenerateLibrary, LigandsAreIndividuallyVaried) {
+  const auto lib = generate_library(5, 20, 3, 7);
+  bool any_diff = false;
+  for (std::size_t i = 1; i < lib.size() && !any_diff; ++i) {
+    any_diff = lib[i].atoms()[5].position.x != lib[0].atoms()[5].position.x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateLibrary, DeterministicPerSeed) {
+  const auto a = generate_library(3, 15, 2, 11);
+  const auto b = generate_library(3, 15, 2, 11);
+  EXPECT_DOUBLE_EQ(a[2].atoms()[7].position.y, b[2].atoms()[7].position.y);
+}
+
+TEST(ValidateLigand, DetectsBrokenRotamer) {
+  Rng rng(8);
+  Ligand good = generate_ligand(12, 3, rng);
+  auto atoms = good.atoms();
+  auto bonds = good.bonds();
+  auto rotamers = good.rotamers();
+  rotamers[0].moving_atoms.pop_back(); // corrupt the split
+  EXPECT_THROW(Ligand("bad", atoms, bonds, rotamers), contract_error);
+}
+
+TEST(ValidateLigand, DetectsNonTreeBonds) {
+  std::vector<Atom> atoms(3);
+  atoms[0].position = {0, 0, 0};
+  atoms[1].position = {1.5, 0, 0};
+  atoms[2].position = {3.0, 0, 0};
+  // Only one bond for three atoms: disconnected.
+  EXPECT_THROW(Ligand("bad", atoms, {{0, 1}}, {}), contract_error);
+}
+
+TEST(Elements, RadiiAreChemical) {
+  EXPECT_GT(vdw_radius(Element::kS), vdw_radius(Element::kO));
+  EXPECT_GT(vdw_radius(Element::kC), vdw_radius(Element::kH));
+  EXPECT_EQ(to_string(Element::kC), "C");
+  EXPECT_EQ(to_string(Element::kN), "N");
+}
+
+} // namespace
+} // namespace dsem::ligen

@@ -1,0 +1,86 @@
+#include "ligen/protein.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::ligen {
+namespace {
+
+TEST(PotentialGrid, ExactAtLatticePoints) {
+  PotentialGrid grid({0, 0, 0}, 1.0, 3, 3, 3);
+  grid.at(1, 2, 0) = 7.5;
+  EXPECT_DOUBLE_EQ(grid.sample({1.0, 2.0, 0.0}), 7.5);
+}
+
+TEST(PotentialGrid, TrilinearInterpolationIsLinearAlongAxes) {
+  PotentialGrid grid({0, 0, 0}, 1.0, 2, 2, 2);
+  grid.at(0, 0, 0) = 0.0;
+  grid.at(1, 0, 0) = 10.0;
+  EXPECT_NEAR(grid.sample({0.25, 0.0, 0.0}), 2.5, 1e-12);
+  EXPECT_NEAR(grid.sample({0.5, 0.0, 0.0}), 5.0, 1e-12);
+}
+
+TEST(PotentialGrid, ClampsOutsideBox) {
+  PotentialGrid grid({0, 0, 0}, 1.0, 2, 2, 2);
+  grid.at(0, 0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(grid.sample({-100.0, -100.0, -100.0}), 3.0);
+}
+
+TEST(PotentialGrid, RejectsDegenerate) {
+  EXPECT_THROW(PotentialGrid({0, 0, 0}, 0.0, 2, 2, 2), contract_error);
+  EXPECT_THROW(PotentialGrid({0, 0, 0}, 1.0, 1, 2, 2), contract_error);
+}
+
+TEST(Protein, GeneratedPocketHasRequestedShape) {
+  const Protein p = Protein::generate_pocket(1, 120, 7.0);
+  EXPECT_EQ(p.atoms().size(), 120u);
+  EXPECT_DOUBLE_EQ(p.pocket_radius(), 7.0);
+  for (const ProteinAtom& atom : p.atoms()) {
+    const double r = distance(atom.position, p.pocket_center());
+    EXPECT_GT(r, 7.0 * 0.9);
+    EXPECT_LT(r, 7.0 * 1.2);
+  }
+}
+
+TEST(Protein, DeterministicPerSeed) {
+  const Protein a = Protein::generate_pocket(42);
+  const Protein b = Protein::generate_pocket(42);
+  EXPECT_DOUBLE_EQ(a.atoms()[10].position.x, b.atoms()[10].position.x);
+  EXPECT_DOUBLE_EQ(a.steric({1.0, 2.0, 3.0}), b.steric({1.0, 2.0, 3.0}));
+}
+
+TEST(Protein, CavityCenterIsStericallyFavourable) {
+  const Protein p = Protein::generate_pocket(7);
+  // The centre of the cavity is attractive (negative), while a point on
+  // top of a lining atom is strongly repulsive.
+  EXPECT_LT(p.steric(p.pocket_center()), 0.0);
+  EXPECT_GT(p.steric(p.atoms().front().position), 5.0);
+}
+
+TEST(Protein, StericRisesTowardTheLining) {
+  const Protein p = Protein::generate_pocket(8);
+  const Vec3 center = p.pocket_center();
+  const Vec3 toward = p.atoms().front().position;
+  const Vec3 dir = (toward - center).normalized();
+  const double near_atom =
+      p.steric(toward - dir * 0.5); // half an angstrom inside the atom shell
+  EXPECT_GT(near_atom, p.steric(center));
+}
+
+TEST(Protein, ElectrostaticFieldIsBounded) {
+  const Protein p = Protein::generate_pocket(9);
+  for (double x = -6.0; x <= 6.0; x += 2.0) {
+    const double e = p.electrostatic({x, 0.0, 0.0});
+    EXPECT_LT(std::abs(e), 10.0);
+    EXPECT_TRUE(std::isfinite(e));
+  }
+}
+
+TEST(Protein, ValidationOfParameters) {
+  EXPECT_THROW(Protein::generate_pocket(1, 4), contract_error);
+  EXPECT_THROW(Protein::generate_pocket(1, 100, 1.0), contract_error);
+}
+
+} // namespace
+} // namespace dsem::ligen

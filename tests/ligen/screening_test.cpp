@@ -1,0 +1,130 @@
+#include "ligen/screening.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ligen/kernels.hpp"
+
+namespace dsem::ligen {
+namespace {
+
+class ScreeningTest : public ::testing::Test {
+protected:
+  ScreeningTest()
+      : protein_(Protein::generate_pocket(0xF00D)),
+        sim_dev_(sim::v100(), sim::NoiseConfig::none()), device_(sim_dev_) {}
+
+  Protein protein_;
+  sim::Device sim_dev_;
+  synergy::Device device_;
+};
+
+TEST_F(ScreeningTest, HostRunScoresEveryLigand) {
+  const auto lib = generate_library(12, 20, 3, 5);
+  VirtualScreen screen(protein_);
+  const auto result = screen.run_host(lib);
+  ASSERT_EQ(result.scores.size(), 12u);
+  for (double s : result.scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST_F(ScreeningTest, HostRunDeterministic) {
+  const auto lib = generate_library(6, 20, 3, 6);
+  VirtualScreen screen(protein_);
+  const auto a = screen.run_host(lib, 42);
+  const auto b = screen.run_host(lib, 42);
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST_F(ScreeningTest, RankingSortsByScoreDescending) {
+  ScreeningResult result;
+  result.scores = {0.5, 2.0, -1.0, 1.0};
+  const auto order = result.ranking();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST_F(ScreeningTest, ValidateModeProducesSameScoresAsHostRun) {
+  const auto lib = generate_library(8, 20, 3, 7);
+  VirtualScreen screen(protein_);
+  synergy::Queue queue(device_, synergy::ExecMode::kValidate);
+  const auto via_queue = screen.run(lib, queue, 42);
+  const auto direct = screen.run_host(lib, 42);
+  ASSERT_EQ(via_queue.scores.size(), direct.scores.size());
+  for (std::size_t i = 0; i < direct.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_queue.scores[i], direct.scores[i]);
+  }
+}
+
+TEST_F(ScreeningTest, SimOnlyLeavesScoresNaNButChargesDevice) {
+  const auto lib = generate_library(4, 20, 3, 8);
+  VirtualScreen screen(protein_);
+  synergy::Queue queue(device_, synergy::ExecMode::kSimOnly);
+  const auto result = screen.run(lib, queue);
+  for (double s : result.scores) {
+    EXPECT_TRUE(std::isnan(s));
+  }
+  EXPECT_GT(queue.total_energy_j(), 0.0);
+}
+
+TEST_F(ScreeningTest, SubmitsDockAndScorePerBatch) {
+  const auto lib = generate_library(10, 20, 3, 9);
+  VirtualScreen screen(protein_, {}, /*batch_size=*/4);
+  synergy::Queue queue(device_, synergy::ExecMode::kSimOnly);
+  screen.run(lib, queue);
+  // ceil(10/4) = 3 batches x 2 kernels.
+  ASSERT_EQ(queue.records().size(), 6u);
+  EXPECT_EQ(queue.records()[0].kernel_name, "ligen::dock");
+  EXPECT_EQ(queue.records()[1].kernel_name, "ligen::score");
+  EXPECT_EQ(queue.records()[0].work_items, 4u);
+  EXPECT_EQ(queue.records()[4].work_items, 2u); // final partial batch
+}
+
+TEST_F(ScreeningTest, FastPathMatchesVirtualScreenSubmission) {
+  const auto lib = generate_library(10, 20, 3, 10);
+  VirtualScreen screen(protein_, {}, /*batch_size=*/4);
+  synergy::Queue real_queue(device_, synergy::ExecMode::kSimOnly);
+  screen.run(lib, real_queue);
+
+  synergy::Queue fast_queue(device_, synergy::ExecMode::kSimOnly);
+  submit_screening_kernels(fast_queue, 10, 20, 3, {}, 4);
+
+  ASSERT_EQ(real_queue.records().size(), fast_queue.records().size());
+  for (std::size_t i = 0; i < fast_queue.records().size(); ++i) {
+    EXPECT_EQ(real_queue.records()[i].kernel_name,
+              fast_queue.records()[i].kernel_name);
+    EXPECT_EQ(real_queue.records()[i].work_items,
+              fast_queue.records()[i].work_items);
+  }
+}
+
+TEST_F(ScreeningTest, PlantedBinderRanksHighly) {
+  // A compact ligand pre-seated in the pocket should outrank a library of
+  // bulky, hard-to-fit ligands. Build the library with mixed sizes: small
+  // ligands fit the cavity better than oversized ones.
+  auto small = generate_library(3, 12, 2, 11);
+  auto large = generate_library(3, 80, 2, 12);
+  std::vector<Ligand> lib;
+  lib.insert(lib.end(), small.begin(), small.end());
+  lib.insert(lib.end(), large.begin(), large.end());
+  VirtualScreen screen(protein_);
+  const auto result = screen.run_host(lib, 13);
+  // Best-scoring ligand should be one of the small ones.
+  EXPECT_LT(result.ranking().front(), 3u);
+}
+
+TEST_F(ScreeningTest, EmptyLibraryThrows) {
+  VirtualScreen screen(protein_);
+  synergy::Queue queue(device_, synergy::ExecMode::kSimOnly);
+  EXPECT_THROW(screen.run({}, queue), contract_error);
+  EXPECT_THROW(screen.run_host({}), contract_error);
+}
+
+} // namespace
+} // namespace dsem::ligen

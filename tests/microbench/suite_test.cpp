@@ -1,0 +1,93 @@
+#include "microbench/suite.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "sim/device.hpp"
+
+namespace dsem::microbench {
+namespace {
+
+TEST(Suite, Has106Kernels) {
+  const auto suite = make_suite();
+  EXPECT_EQ(suite.size(), kSuiteSize);
+  EXPECT_EQ(suite.size(), 106u); // Fan et al.'s corpus size
+}
+
+TEST(Suite, AllProfilesValidAndNamed) {
+  std::set<std::string> names;
+  for (const auto& mb : make_suite()) {
+    EXPECT_NO_THROW(sim::validate(mb.profile));
+    EXPECT_GT(mb.work_items, 0u);
+    EXPECT_TRUE(names.insert(mb.profile.name).second)
+        << "duplicate name " << mb.profile.name;
+  }
+}
+
+TEST(Suite, DeterministicAcrossCalls) {
+  const auto a = make_suite();
+  const auto b = make_suite();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].profile.name, b[i].profile.name);
+    EXPECT_DOUBLE_EQ(a[i].profile.float_add, b[i].profile.float_add);
+    EXPECT_EQ(a[i].work_items, b[i].work_items);
+  }
+}
+
+TEST(Suite, EveryStaticFeatureIsStressedSomewhere) {
+  // For each Table 1 feature, at least one kernel must make it the
+  // dominant fraction of its feature vector.
+  const auto suite = make_suite();
+  for (std::size_t f = 0; f < sim::kNumStaticFeatures; ++f) {
+    bool dominant = false;
+    for (const auto& mb : suite) {
+      const auto vec = core::static_feature_vector(mb.profile);
+      if (vec[f] > 0.5) {
+        dominant = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominant) << "feature " << sim::kStaticFeatureNames[f]
+                          << " never dominates any kernel";
+  }
+}
+
+TEST(Suite, CoversMemoryAndComputeBoundRegimes) {
+  const auto spec = sim::v100();
+  int mem_bound = 0;
+  int compute_bound = 0;
+  for (const auto& mb : make_suite()) {
+    const auto b = sim::execute(spec, mb.profile, mb.work_items, 1312.0);
+    if (b.mem_s > b.compute_s) {
+      ++mem_bound;
+    } else {
+      ++compute_bound;
+    }
+  }
+  EXPECT_GT(mem_bound, 10);
+  EXPECT_GT(compute_bound, 10);
+}
+
+TEST(Suite, CoversUtilizationRegimes) {
+  std::set<std::size_t> sizes;
+  for (const auto& mb : make_suite()) {
+    sizes.insert(mb.work_items);
+  }
+  EXPECT_GE(sizes.size(), 3u);
+}
+
+TEST(Suite, KernelsRunOnBothDevices) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  for (const auto& mb : make_suite()) {
+    const auto rn = nv.launch(mb.profile, mb.work_items);
+    const auto ra = amd.launch(mb.profile, mb.work_items);
+    EXPECT_GT(rn.time_s, 0.0);
+    EXPECT_GT(ra.energy_j, 0.0);
+  }
+}
+
+} // namespace
+} // namespace dsem::microbench

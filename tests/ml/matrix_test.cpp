@@ -1,0 +1,132 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), contract_error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(1, 2), 0.0);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  m.row(1)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, GatherRowsWithDuplicates) {
+  const Matrix m = Matrix::from_rows({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}});
+  const std::vector<std::size_t> idx = {2, 0, 2};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(2, 0), 3.0);
+}
+
+TEST(Matrix, GatherRowsRejectsOutOfRange) {
+  const Matrix m = Matrix::from_rows({{1.0}});
+  const std::vector<std::size_t> idx = {1};
+  EXPECT_THROW(m.gather_rows(idx), contract_error);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matmul, BasicProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), contract_error);
+}
+
+TEST(Gram, MatchesAtTimesA) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const Matrix g = gram(a);
+  const Matrix expected = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(AtY, MatchesTransposeProduct) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::vector<double> y = {1.0, 1.0};
+  const auto aty = at_y(a, y);
+  EXPECT_DOUBLE_EQ(aty[0], 4.0);
+  EXPECT_DOUBLE_EQ(aty[1], 6.0);
+}
+
+TEST(SolveSpd, SolvesWellConditionedSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+  Matrix a = Matrix::from_rows({{4.0, 1.0}, {1.0, 3.0}});
+  const auto x = solve_spd(a, {1.0, 2.0});
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(SolveSpd, IdentityReturnsRhs) {
+  const auto x = solve_spd(Matrix::identity(4), {1.0, 2.0, 3.0, 4.0});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], static_cast<double>(i + 1), 1e-14);
+  }
+}
+
+TEST(SolveSpd, JitterRescuesSemiDefinite) {
+  // Rank-deficient: jitter must make it solvable without throwing.
+  Matrix a = Matrix::from_rows({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_NO_THROW(solve_spd(a, {2.0, 2.0}));
+}
+
+TEST(SolveSpd, RejectsNonSquare) {
+  EXPECT_THROW(solve_spd(Matrix(2, 3), {1.0, 2.0}), contract_error);
+}
+
+TEST(Dot, BasicAndMismatch) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const std::vector<double> c = {1.0};
+  EXPECT_THROW(dot(a, c), contract_error);
+}
+
+} // namespace
+} // namespace dsem::ml

@@ -1,0 +1,159 @@
+#include "ml/model_selection.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "ml/forest.hpp"
+#include "ml/linear.hpp"
+
+namespace dsem::ml {
+namespace {
+
+double mape_score(std::span<const double> truth, std::span<const double> pred) {
+  return stats::mape(truth, pred);
+}
+
+TEST(KFold, PartitionsAllSamples) {
+  const auto splits = kfold(100, 5, 42);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+    for (std::size_t i : s.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "index tested twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(KFold, TrainAndTestDisjoint) {
+  const auto splits = kfold(50, 5, 1);
+  for (const auto& s : splits) {
+    for (std::size_t i : s.test) {
+      EXPECT_EQ(std::count(s.train.begin(), s.train.end(), i), 0);
+    }
+  }
+}
+
+TEST(KFold, DeterministicPerSeed) {
+  const auto a = kfold(30, 3, 7);
+  const auto b = kfold(30, 3, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].test, b[i].test);
+  }
+}
+
+TEST(KFold, RejectsDegenerate) {
+  EXPECT_THROW(kfold(5, 1, 0), contract_error);
+  EXPECT_THROW(kfold(3, 5, 0), contract_error);
+}
+
+TEST(LeaveOneGroupOut, OneSplitPerGroup) {
+  const std::vector<int> groups = {0, 0, 1, 1, 2, 2, 2};
+  const auto splits = leave_one_group_out(groups);
+  ASSERT_EQ(splits.size(), 3u);
+  EXPECT_EQ(splits[0].test, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(splits[2].test, (std::vector<std::size_t>{4, 5, 6}));
+  EXPECT_EQ(splits[1].train.size(), 5u);
+}
+
+TEST(LeaveOneGroupOut, NonContiguousLabels) {
+  const std::vector<int> groups = {7, 3, 7, 3};
+  const auto splits = leave_one_group_out(groups);
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0].test, (std::vector<std::size_t>{1, 3})); // group 3
+}
+
+TEST(LeaveOneGroupOut, SingleGroupThrows) {
+  const std::vector<int> groups = {1, 1, 1};
+  EXPECT_THROW(leave_one_group_out(groups), contract_error);
+}
+
+TEST(CrossValScore, PerfectModelScoresZero) {
+  // Exactly linear data: linear regression cross-validates to ~0 MAPE.
+  Rng rng(3);
+  Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(1.0, 10.0);
+    y[i] = 2.0 * x(i, 0) + 1.0;
+  }
+  const auto splits = kfold(60, 5, 0);
+  const double score =
+      cross_val_score(LinearRegressor(), x, y, splits, mape_score);
+  EXPECT_LT(score, 1e-6);
+}
+
+TEST(CrossValScore, DetectsOverfittingModelsViaHeldOutError) {
+  // Noisy constant target: a deep tree memorizes noise, so its held-out
+  // error exceeds a linear fit's.
+  Rng rng(4);
+  Matrix x(120, 1);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    y[i] = 5.0 + rng.normal(0.0, 1.0);
+  }
+  const auto splits = kfold(120, 4, 0);
+  const double linear =
+      cross_val_score(LinearRegressor(), x, y, splits, mape_score);
+  ForestParams deep;
+  deep.n_estimators = 1;
+  const double tree = cross_val_score(RandomForestRegressor(deep), x, y,
+                                      splits, mape_score);
+  EXPECT_LT(linear, tree);
+}
+
+TEST(GridSearch, FindsBestParameterCombination) {
+  // Target depends only on x0; trees need enough depth to capture it.
+  Rng rng(5);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(0.0, 10.0);
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  const auto splits = kfold(200, 4, 0);
+  const std::map<std::string, std::vector<double>> grid = {
+      {"max_depth", {1.0, 8.0}},
+      {"n_estimators", {5.0, 20.0}},
+  };
+  const auto result = grid_search(
+      grid,
+      [](const std::map<std::string, double>& params) {
+        ForestParams fp;
+        fp.max_depth = static_cast<int>(params.at("max_depth"));
+        fp.n_estimators = static_cast<int>(params.at("n_estimators"));
+        return std::make_unique<RandomForestRegressor>(fp);
+      },
+      x, y, splits, mape_score);
+  EXPECT_EQ(result.evaluated, 4u);
+  EXPECT_DOUBLE_EQ(result.best_params.at("max_depth"), 8.0);
+}
+
+TEST(GridSearch, RejectsEmptyGrid) {
+  Matrix x(4, 1);
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const auto splits = kfold(4, 2, 0);
+  EXPECT_THROW(grid_search(
+                   {}, [](const auto&) { return nullptr; }, x, y, splits,
+                   mape_score),
+               contract_error);
+  const std::map<std::string, std::vector<double>> empty_values = {
+      {"p", {}}};
+  EXPECT_THROW(grid_search(
+                   empty_values,
+                   [](const auto&) {
+                     return std::make_unique<LinearRegressor>();
+                   },
+                   x, y, splits, mape_score),
+               contract_error);
+}
+
+} // namespace
+} // namespace dsem::ml

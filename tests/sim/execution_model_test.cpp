@@ -1,0 +1,182 @@
+#include "sim/execution_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/device_spec.hpp"
+
+namespace dsem::sim {
+namespace {
+
+KernelProfile compute_kernel(double flops = 1000.0) {
+  KernelProfile p;
+  p.name = "compute";
+  p.float_add = flops / 2.0;
+  p.float_mul = flops / 2.0;
+  p.global_bytes = 8.0;
+  return p;
+}
+
+KernelProfile memory_kernel(double bytes = 1024.0) {
+  KernelProfile p;
+  p.name = "memory";
+  p.float_add = 4.0;
+  p.global_bytes = bytes;
+  return p;
+}
+
+class ExecutionModelTest : public ::testing::Test {
+protected:
+  DeviceSpec spec_ = v100();
+};
+
+TEST_F(ExecutionModelTest, CyclesPerItemWeighsOpCosts) {
+  KernelProfile p;
+  p.int_div = 2.0;   // cost 20 each
+  p.float_div = 1.0; // cost 8
+  p.special_fn = 1.0; // cost 4
+  p.local_bytes = 8.0; // 0.25 cycles/byte
+  EXPECT_DOUBLE_EQ(cycles_per_item(spec_, p), 40.0 + 8.0 + 4.0 + 2.0);
+}
+
+TEST_F(ExecutionModelTest, ComputeBoundTimeScalesInverselyWithFrequency) {
+  const auto kernel = compute_kernel();
+  const std::size_t w = 10'000'000;
+  const auto lo = execute(spec_, kernel, w, 800.0);
+  const auto hi = execute(spec_, kernel, w, 1600.0);
+  EXPECT_NEAR(lo.exec_s / hi.exec_s, 2.0, 0.01);
+}
+
+TEST_F(ExecutionModelTest, MemoryBoundTimeInsensitiveToFrequency) {
+  const auto kernel = memory_kernel(4096.0);
+  const std::size_t w = 10'000'000;
+  const auto lo = execute(spec_, kernel, w, 1000.0);
+  const auto hi = execute(spec_, kernel, w, 1597.0);
+  EXPECT_NEAR(lo.exec_s / hi.exec_s, 1.0, 1e-9);
+}
+
+TEST_F(ExecutionModelTest, MemoryBoundBecomesComputeBoundAtLowFrequency) {
+  // Intensity chosen so the roofline crossover falls inside the schedule.
+  KernelProfile kernel;
+  kernel.float_add = 256.0;
+  kernel.global_bytes = 64.0;
+  const std::size_t w = 10'000'000;
+  const auto hi = execute(spec_, kernel, w, 1597.0);
+  EXPECT_GT(hi.mem_s, hi.compute_s); // memory-bound at top clock
+  const auto lo = execute(spec_, kernel, w, 200.0);
+  EXPECT_GT(lo.compute_s, lo.mem_s); // compute-bound at bottom clock
+  EXPECT_GT(lo.exec_s, hi.exec_s);
+}
+
+TEST_F(ExecutionModelTest, ThroughputTimeMatchesHandComputation) {
+  const auto kernel = compute_kernel(1000.0);
+  const std::size_t w = 1'000'000;
+  const double f_hz = 1000.0 * 1e6;
+  const auto b = execute(spec_, kernel, w, 1000.0);
+  const double lanes_eff = spec_.total_lanes() * spec_.compute_efficiency;
+  const double expected =
+      static_cast<double>(w) * cycles_per_item(spec_, kernel) /
+      (lanes_eff * f_hz);
+  EXPECT_NEAR(b.compute_tp_s, expected, expected * 1e-12);
+}
+
+TEST_F(ExecutionModelTest, MemoryBandwidthTimeMatchesHandComputation) {
+  const auto kernel = memory_kernel(1000.0);
+  const std::size_t w = 1'000'000;
+  const auto b = execute(spec_, kernel, w, 1000.0);
+  EXPECT_NEAR(b.mem_bw_s, 1e9 / (900.0 * 1e9), 1e-15);
+}
+
+TEST_F(ExecutionModelTest, SmallLaunchHitsLatencyFloor) {
+  const auto kernel = compute_kernel(1000.0);
+  const auto b = execute(spec_, kernel, 1, 1000.0);
+  const double floor =
+      cycles_per_item(spec_, kernel) * spec_.latency_factor / 1e9;
+  // Smooth-max blend: within a whisker of the floor when it dominates.
+  EXPECT_NEAR(b.compute_s, floor, floor * 1e-6);
+  EXPECT_GT(b.compute_s, b.compute_tp_s);
+}
+
+TEST_F(ExecutionModelTest, IntraItemParallelismShortensLatencyFloor) {
+  auto kernel = compute_kernel(1000.0);
+  const auto serial = execute(spec_, kernel, 1, 1000.0);
+  kernel.intra_item_parallelism = 10.0;
+  const auto parallel = execute(spec_, kernel, 1, 1000.0);
+  EXPECT_NEAR(serial.compute_s / parallel.compute_s, 10.0, 0.01);
+}
+
+TEST_F(ExecutionModelTest, LatencyFloorIrrelevantWhenSaturated) {
+  const auto kernel = compute_kernel(1000.0);
+  const std::size_t w = 100'000'000;
+  const auto b = execute(spec_, kernel, w, 1000.0);
+  EXPECT_NEAR(b.compute_s, b.compute_tp_s, b.compute_tp_s * 1e-6);
+}
+
+TEST_F(ExecutionModelTest, ComputeTimeContinuousAcrossOccupancyTransition) {
+  // The throughput/latency blend must be smooth in the work-item count:
+  // consecutive sizes around the crossover change time gradually.
+  const auto kernel = compute_kernel(1000.0);
+  double prev = execute(spec_, kernel, 1000, 1000.0).compute_s;
+  for (std::size_t w = 1100; w <= 200000; w = w * 11 / 10) {
+    const double cur = execute(spec_, kernel, w, 1000.0).compute_s;
+    EXPECT_LT(cur / prev, 1.25) << "jump at w=" << w;
+    EXPECT_GE(cur, prev * 0.999);
+    prev = cur;
+  }
+}
+
+TEST_F(ExecutionModelTest, MemoryLatencyFloorApplies) {
+  const auto kernel = memory_kernel(64.0);
+  const auto b = execute(spec_, kernel, 4, 1000.0);
+  EXPECT_DOUBLE_EQ(b.mem_s, spec_.mem_latency_us * 1e-6);
+}
+
+TEST_F(ExecutionModelTest, LaunchOverheadAlwaysCharged) {
+  const auto kernel = compute_kernel(10.0);
+  const auto b = execute(spec_, kernel, 1, 1597.0);
+  EXPECT_DOUBLE_EQ(b.launch_s, spec_.launch_overhead_us * 1e-6);
+  EXPECT_DOUBLE_EQ(b.total_s, b.launch_s + b.exec_s);
+}
+
+TEST_F(ExecutionModelTest, ComputeAndMemoryOverlap) {
+  KernelProfile p;
+  p.float_add = 100.0;
+  p.global_bytes = 100.0;
+  const auto b = execute(spec_, p, 1'000'000, 1000.0);
+  EXPECT_DOUBLE_EQ(b.exec_s, std::max(b.compute_s, b.mem_s));
+}
+
+TEST_F(ExecutionModelTest, UtilizationsAreBoundedFractions) {
+  const auto b = execute(spec_, compute_kernel(), 100'000, 1000.0);
+  EXPECT_GE(b.compute_utilization(), 0.0);
+  EXPECT_LE(b.compute_utilization(), 1.0);
+  EXPECT_GE(b.memory_utilization(), 0.0);
+  EXPECT_LE(b.memory_utilization(), 1.0);
+}
+
+TEST_F(ExecutionModelTest, PureMemoryKernelHasZeroComputeTime) {
+  KernelProfile p;
+  p.global_bytes = 128.0;
+  const auto b = execute(spec_, p, 1'000'000, 1000.0);
+  EXPECT_DOUBLE_EQ(b.compute_s, 0.0);
+  EXPECT_GT(b.mem_s, 0.0);
+}
+
+TEST_F(ExecutionModelTest, RejectsDegenerateLaunches) {
+  EXPECT_THROW(execute(spec_, compute_kernel(), 0, 1000.0), contract_error);
+  EXPECT_THROW(execute(spec_, compute_kernel(), 10, 0.0), contract_error);
+  EXPECT_THROW(execute(spec_, compute_kernel(), 10, -5.0), contract_error);
+}
+
+TEST_F(ExecutionModelTest, MoreWorkNeverFaster) {
+  const auto kernel = compute_kernel();
+  double prev = 0.0;
+  for (std::size_t w : {1u, 100u, 10000u, 1000000u, 100000000u}) {
+    const auto b = execute(spec_, kernel, w, 1312.0);
+    EXPECT_GE(b.total_s, prev);
+    prev = b.total_s;
+  }
+}
+
+} // namespace
+} // namespace dsem::sim

@@ -1,0 +1,76 @@
+#include "sim/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+namespace {
+
+TEST(FrequencySchedule, LinearSpansRangeInclusive) {
+  const auto sched = FrequencySchedule::linear(100.0, 200.0, 11);
+  EXPECT_EQ(sched.size(), 11u);
+  EXPECT_DOUBLE_EQ(sched.min(), 100.0);
+  EXPECT_DOUBLE_EQ(sched.max(), 200.0);
+  EXPECT_DOUBLE_EQ(sched.frequencies()[5], 150.0);
+}
+
+TEST(FrequencySchedule, V100ScheduleHas196Frequencies) {
+  const auto sched = FrequencySchedule::linear(135.0, 1597.0, 196);
+  EXPECT_EQ(sched.size(), 196u);
+  EXPECT_DOUBLE_EQ(sched.min(), 135.0);
+  EXPECT_DOUBLE_EQ(sched.max(), 1597.0);
+}
+
+TEST(FrequencySchedule, ConstructorSortsAndDeduplicates) {
+  FrequencySchedule sched({300.0, 100.0, 200.0, 100.0});
+  EXPECT_EQ(sched.size(), 3u);
+  EXPECT_DOUBLE_EQ(sched.frequencies()[0], 100.0);
+  EXPECT_DOUBLE_EQ(sched.frequencies()[2], 300.0);
+}
+
+TEST(FrequencySchedule, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(FrequencySchedule(std::vector<double>{}), contract_error);
+  EXPECT_THROW(FrequencySchedule({100.0, -5.0}), contract_error);
+  EXPECT_THROW(FrequencySchedule::linear(0.0, 100.0, 5), contract_error);
+  EXPECT_THROW(FrequencySchedule::linear(100.0, 50.0, 5), contract_error);
+  EXPECT_THROW(FrequencySchedule::linear(10.0, 100.0, 1), contract_error);
+}
+
+TEST(FrequencySchedule, SnapPicksNearest) {
+  FrequencySchedule sched({100.0, 200.0, 300.0});
+  EXPECT_DOUBLE_EQ(sched.snap(95.0), 100.0);
+  EXPECT_DOUBLE_EQ(sched.snap(140.0), 100.0);
+  EXPECT_DOUBLE_EQ(sched.snap(160.0), 200.0);
+  EXPECT_DOUBLE_EQ(sched.snap(1000.0), 300.0);
+  EXPECT_DOUBLE_EQ(sched.snap(1.0), 100.0);
+}
+
+TEST(FrequencySchedule, SnapTiesResolveDownward) {
+  FrequencySchedule sched({100.0, 200.0});
+  EXPECT_DOUBLE_EQ(sched.snap(150.0), 100.0);
+}
+
+TEST(FrequencySchedule, SnapExactValueIsIdentity) {
+  FrequencySchedule sched({100.0, 200.0, 300.0});
+  for (double f : sched.frequencies()) {
+    EXPECT_DOUBLE_EQ(sched.snap(f), f);
+  }
+}
+
+TEST(FrequencySchedule, IndexOfMatchesSnapNeighborhood) {
+  FrequencySchedule sched({100.0, 200.0, 300.0});
+  EXPECT_EQ(sched.index_of(100.0), 0u);
+  EXPECT_EQ(sched.index_of(210.0), 1u);
+  EXPECT_EQ(sched.index_of(9999.0), 2u);
+}
+
+TEST(FrequencySchedule, Contains) {
+  FrequencySchedule sched({100.0, 200.0});
+  EXPECT_TRUE(sched.contains(100.0));
+  EXPECT_FALSE(sched.contains(150.0));
+  EXPECT_TRUE(sched.contains(100.0 + 1e-12));
+}
+
+} // namespace
+} // namespace dsem::sim

@@ -1,0 +1,82 @@
+// Intel preset + Level Zero backend (the SYnergy layer's third vendor).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem {
+namespace {
+
+sim::KernelProfile work_kernel() {
+  sim::KernelProfile p;
+  p.name = "work";
+  p.float_add = 128.0;
+  p.float_mul = 128.0;
+  p.global_bytes = 64.0;
+  return p;
+}
+
+TEST(IntelPreset, MatchesDatasheetShape) {
+  const sim::DeviceSpec spec = sim::intel_max1100();
+  EXPECT_EQ(spec.vendor, sim::Vendor::kIntel);
+  EXPECT_EQ(spec.total_lanes(), 56 * 128);
+  EXPECT_TRUE(spec.has_fixed_default());
+  EXPECT_DOUBLE_EQ(spec.core_frequencies.min(), 300.0);
+  EXPECT_DOUBLE_EQ(spec.core_frequencies.max(), 1550.0);
+  // Peak FP32 ~22 TFLOP/s at max clock.
+  EXPECT_NEAR(spec.peak_gflops(1550.0), 22221.0, 100.0);
+}
+
+TEST(LevelZeroBackend, SelectedForIntelDevices) {
+  sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
+  const auto backend = synergy::make_backend(dev);
+  EXPECT_EQ(backend->api_name(), "Level Zero");
+}
+
+TEST(LevelZeroBackend, RejectsWrongVendor) {
+  sim::Device dev(sim::v100(), sim::NoiseConfig::none());
+  EXPECT_THROW(synergy::LevelZeroBackend backend(dev), contract_error);
+}
+
+TEST(LevelZeroBackend, MicrojouleEnergyCounter) {
+  sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
+  synergy::LevelZeroBackend backend(dev);
+  backend.launch(work_kernel(), 100000);
+  EXPECT_DOUBLE_EQ(backend.energy_unit_joules(), 1e-6);
+  EXPECT_NEAR(static_cast<double>(backend.energy_counter()) * 1e-6,
+              dev.energy_joules(), 1e-5);
+}
+
+TEST(LevelZeroBackend, FrequencyControlRoundTrip) {
+  sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
+  synergy::Device device(dev);
+  device.set_frequency(600.0);
+  EXPECT_NEAR(device.current_frequency(), 600.0, 10.0);
+  device.reset_frequency();
+  EXPECT_NEAR(device.current_frequency(), 900.0, 10.0);
+}
+
+TEST(IntelDevice, WorksThroughTheFullPortableStack) {
+  sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
+  synergy::Device device(dev);
+  synergy::Queue queue(device);
+  queue.set_target_frequency(1200.0);
+  const auto rec = queue.submit({work_kernel(), 1 << 20, {}});
+  EXPECT_NEAR(rec.frequency_mhz, 1200.0, 10.0);
+  EXPECT_GT(rec.energy_j, 0.0);
+}
+
+TEST(IntelDevice, ComputeBoundKernelScalesWithClock) {
+  sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
+  sim::KernelProfile heavy;
+  heavy.float_mul = 2048.0;
+  heavy.global_bytes = 8.0;
+  dev.set_core_frequency(600.0);
+  const auto slow = dev.launch(heavy, 10'000'000);
+  dev.set_core_frequency(1500.0);
+  const auto fast = dev.launch(heavy, 10'000'000);
+  EXPECT_NEAR(slow.time_s / fast.time_s, 1500.0 / 600.0, 0.1);
+}
+
+} // namespace
+} // namespace dsem

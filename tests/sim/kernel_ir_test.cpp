@@ -1,0 +1,114 @@
+#include "sim/kernel_ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/device.hpp"
+
+namespace dsem::sim {
+namespace {
+
+TEST(KernelIr, AnalyzeMapsOpsToTable1Classes) {
+  KernelIr ir("k");
+  ir.iadd(3).imul(2).idiv(1).bitwise(4);
+  ir.fadd(5).fmul(6).fdiv(7).special(8);
+  ir.load_global(16.0, 2).store_global(8.0, 1);
+  ir.load_local(4.0, 10);
+  const KernelProfile p = analyze(ir);
+  EXPECT_DOUBLE_EQ(p.int_add, 3.0);
+  EXPECT_DOUBLE_EQ(p.int_mul, 2.0);
+  EXPECT_DOUBLE_EQ(p.int_div, 1.0);
+  EXPECT_DOUBLE_EQ(p.int_bw, 4.0);
+  EXPECT_DOUBLE_EQ(p.float_add, 5.0);
+  EXPECT_DOUBLE_EQ(p.float_mul, 6.0);
+  EXPECT_DOUBLE_EQ(p.float_div, 7.0);
+  EXPECT_DOUBLE_EQ(p.special_fn, 8.0);
+  EXPECT_DOUBLE_EQ(p.global_bytes, 40.0);
+  EXPECT_DOUBLE_EQ(p.local_bytes, 40.0);
+  EXPECT_EQ(p.name, "k");
+}
+
+TEST(KernelIr, FmaCountsAsMulPlusAdd) {
+  KernelIr ir("fma");
+  ir.fma(10);
+  const KernelProfile p = analyze(ir);
+  EXPECT_DOUBLE_EQ(p.float_mul, 10.0);
+  EXPECT_DOUBLE_EQ(p.float_add, 10.0);
+}
+
+TEST(KernelIr, SubtractionCountsAsAddition) {
+  KernelIr ir("sub");
+  ir.emit(Op::kISub, 4).emit(Op::kFSub, 6);
+  const KernelProfile p = analyze(ir);
+  EXPECT_DOUBLE_EQ(p.int_add, 4.0);
+  EXPECT_DOUBLE_EQ(p.float_add, 6.0);
+}
+
+TEST(KernelIr, AllBitwiseOpsFoldTogether) {
+  KernelIr ir("bits");
+  ir.emit(Op::kAnd).emit(Op::kOr).emit(Op::kXor).emit(Op::kShl).emit(
+      Op::kShr);
+  EXPECT_DOUBLE_EQ(analyze(ir).int_bw, 5.0);
+}
+
+TEST(KernelIr, AllSpecialFunctionsFoldTogether) {
+  KernelIr ir("sf");
+  for (Op op : {Op::kSin, Op::kCos, Op::kTan, Op::kExp, Op::kLog, Op::kSqrt,
+                Op::kRsqrt, Op::kPow}) {
+    ir.emit(op, 2);
+  }
+  EXPECT_DOUBLE_EQ(analyze(ir).special_fn, 16.0);
+}
+
+TEST(KernelIr, ParallelismPropagates) {
+  KernelIr ir("par");
+  ir.fadd(100).parallelism(64.0);
+  EXPECT_DOUBLE_EQ(analyze(ir).intra_item_parallelism, 64.0);
+}
+
+TEST(KernelIr, LoopTripCountsFoldIntoCounts) {
+  // A loop body executed 32 times: express via counts, the way a static
+  // pass folds trip counts.
+  KernelIr ir("loop");
+  constexpr double kTrips = 32.0;
+  ir.fma(4.0 * kTrips).load_global(8.0, kTrips);
+  const KernelProfile p = analyze(ir);
+  EXPECT_DOUBLE_EQ(p.float_mul, 128.0);
+  EXPECT_DOUBLE_EQ(p.global_bytes, 256.0);
+}
+
+TEST(KernelIr, ValidationRejectsMisuse) {
+  KernelIr ir("bad");
+  EXPECT_THROW(ir.emit(Op::kLoadGlobal, 1), contract_error);
+  EXPECT_THROW(ir.emit_memory(Op::kFAdd, 8.0), contract_error);
+  EXPECT_THROW(ir.emit_memory(Op::kLoadGlobal, 0.0), contract_error);
+  EXPECT_THROW(ir.emit(Op::kFAdd, -1.0), contract_error);
+  EXPECT_THROW(ir.parallelism(0.5), contract_error);
+  EXPECT_THROW(KernelIr(""), contract_error);
+}
+
+TEST(KernelIr, EmptyKernelRejectedByAnalyze) {
+  KernelIr ir("empty");
+  // analyze() validates the resulting profile; an empty kernel has no work
+  // but is still structurally valid (all-zero profile passes validate).
+  EXPECT_NO_THROW(analyze(ir));
+}
+
+TEST(KernelIr, OpNamesAreStable) {
+  EXPECT_EQ(to_string(Op::kFma), "fma");
+  EXPECT_EQ(to_string(Op::kLoadGlobal), "ld.global");
+  EXPECT_TRUE(is_memory_op(Op::kStoreLocal));
+  EXPECT_FALSE(is_memory_op(Op::kFAdd));
+}
+
+TEST(KernelIr, AnalyzedKernelRunsOnDevice) {
+  KernelIr ir("runnable");
+  ir.fma(256).load_global(64.0).parallelism(4.0);
+  Device device(v100(), NoiseConfig::none());
+  const auto result = device.launch(analyze(ir), 100000);
+  EXPECT_GT(result.time_s, 0.0);
+  EXPECT_GT(result.energy_j, 0.0);
+}
+
+} // namespace
+} // namespace dsem::sim

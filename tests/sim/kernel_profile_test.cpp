@@ -1,0 +1,102 @@
+#include "sim/kernel_profile.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsem::sim {
+namespace {
+
+KernelProfile sample_profile() {
+  KernelProfile p;
+  p.name = "sample";
+  p.int_add = 1.0;
+  p.int_mul = 2.0;
+  p.int_div = 3.0;
+  p.int_bw = 4.0;
+  p.float_add = 5.0;
+  p.float_mul = 6.0;
+  p.float_div = 7.0;
+  p.special_fn = 8.0;
+  p.global_bytes = 40.0;
+  p.local_bytes = 80.0;
+  return p;
+}
+
+TEST(KernelProfile, StaticFeaturesFollowTable1Order) {
+  const auto f = sample_profile().static_features();
+  ASSERT_EQ(f.size(), kNumStaticFeatures);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // int_add
+  EXPECT_DOUBLE_EQ(f[4], 5.0);  // float_add
+  EXPECT_DOUBLE_EQ(f[7], 8.0);  // sf
+  EXPECT_DOUBLE_EQ(f[8], 10.0); // gl_access = bytes / 4
+  EXPECT_DOUBLE_EQ(f[9], 20.0); // loc_access = bytes / 4
+}
+
+TEST(KernelProfile, TotalOpsAndFlops) {
+  const auto p = sample_profile();
+  EXPECT_DOUBLE_EQ(p.total_ops(), 36.0);
+  EXPECT_DOUBLE_EQ(p.flops(), 26.0);
+}
+
+TEST(KernelProfile, ArithmeticIntensity) {
+  const auto p = sample_profile();
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity(), 26.0 / 40.0);
+}
+
+TEST(KernelProfile, IntensityInfiniteWithoutGlobalTraffic) {
+  KernelProfile p;
+  p.float_add = 10.0;
+  EXPECT_TRUE(std::isinf(p.arithmetic_intensity()));
+}
+
+TEST(KernelProfile, AccumulateIsWeightedElementwise) {
+  KernelProfile acc;
+  acc.accumulate(sample_profile(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.int_add, 2.0);
+  EXPECT_DOUBLE_EQ(acc.float_div, 14.0);
+  EXPECT_DOUBLE_EQ(acc.global_bytes, 80.0);
+  acc.accumulate(sample_profile());
+  EXPECT_DOUBLE_EQ(acc.int_add, 3.0);
+}
+
+TEST(KernelProfile, ScaledMultipliesEverything) {
+  const auto s = sample_profile().scaled(10.0);
+  EXPECT_DOUBLE_EQ(s.int_mul, 20.0);
+  EXPECT_DOUBLE_EQ(s.local_bytes, 800.0);
+  EXPECT_EQ(s.name, "sample");
+}
+
+TEST(KernelProfile, ValidateAcceptsSane) {
+  EXPECT_NO_THROW(validate(sample_profile()));
+}
+
+TEST(KernelProfile, ValidateRejectsNegative) {
+  auto p = sample_profile();
+  p.float_add = -1.0;
+  EXPECT_THROW(validate(p), contract_error);
+}
+
+TEST(KernelProfile, ValidateRejectsNonFinite) {
+  auto p = sample_profile();
+  p.global_bytes = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate(p), contract_error);
+}
+
+TEST(KernelProfile, ValidateRejectsSubUnitParallelism) {
+  auto p = sample_profile();
+  p.intra_item_parallelism = 0.5;
+  EXPECT_THROW(validate(p), contract_error);
+}
+
+TEST(KernelProfile, FeatureNamesMatchCount) {
+  EXPECT_EQ(kStaticFeatureNames.size(), kNumStaticFeatures);
+  EXPECT_STREQ(kStaticFeatureNames[0], "int_add");
+  EXPECT_STREQ(kStaticFeatureNames[9], "loc_access");
+}
+
+} // namespace
+} // namespace dsem::sim

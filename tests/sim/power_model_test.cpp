@@ -1,0 +1,150 @@
+#include "sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/execution_model.hpp"
+
+namespace dsem::sim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+protected:
+  DeviceSpec spec_ = v100();
+};
+
+TEST_F(PowerModelTest, VoltageFlatBelowKnee) {
+  const auto& curve = spec_.power.voltage;
+  const double f_max = spec_.core_frequencies.max();
+  EXPECT_DOUBLE_EQ(voltage(curve, 135.0, f_max), curve.v_min);
+  EXPECT_DOUBLE_EQ(voltage(curve, curve.knee_mhz, f_max), curve.v_min);
+}
+
+TEST_F(PowerModelTest, VoltageReachesVmaxAtFmax) {
+  const auto& curve = spec_.power.voltage;
+  const double f_max = spec_.core_frequencies.max();
+  EXPECT_DOUBLE_EQ(voltage(curve, f_max, f_max), curve.v_max);
+}
+
+TEST_F(PowerModelTest, VoltageMonotonicallyNonDecreasing) {
+  const auto& curve = spec_.power.voltage;
+  const double f_max = spec_.core_frequencies.max();
+  double prev = 0.0;
+  for (double f = 135.0; f <= f_max; f += 10.0) {
+    const double v = voltage(curve, f, f_max);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(PowerModelTest, VoltageClampsAboveRange) {
+  const auto& curve = spec_.power.voltage;
+  EXPECT_DOUBLE_EQ(voltage(curve, 99999.0, 1597.0), curve.v_max);
+}
+
+TEST_F(PowerModelTest, EnergyComponentsSumToTotal) {
+  KernelProfile kernel;
+  kernel.float_add = 100.0;
+  kernel.global_bytes = 100.0;
+  const auto exec = execute(spec_, kernel, 1'000'000, 1312.0);
+  const auto e = energy(spec_, exec, 1312.0);
+  EXPECT_NEAR(e.total_j, e.static_j + e.clock_j + e.compute_j + e.mem_j,
+              1e-12);
+  EXPECT_GT(e.total_j, 0.0);
+}
+
+TEST_F(PowerModelTest, StaticEnergyProportionalToTime) {
+  KernelProfile kernel;
+  kernel.float_add = 100.0;
+  const auto exec = execute(spec_, kernel, 1'000'000, 1000.0);
+  const auto e = energy(spec_, exec, 1000.0);
+  EXPECT_NEAR(e.static_j, spec_.power.static_w * exec.total_s, 1e-12);
+}
+
+TEST_F(PowerModelTest, PerOpComputeEnergyScalesWithVoltageSquaredOnly) {
+  // For a fully compute-bound kernel the compute energy per unit of work
+  // is ~ V(f)^2: it must *decrease* when down-clocking below the knee has
+  // no voltage headroom left... i.e. stay constant below the knee.
+  KernelProfile kernel;
+  kernel.float_mul = 1000.0;
+  const std::size_t w = 50'000'000;
+  const auto e_400 =
+      energy(spec_, execute(spec_, kernel, w, 400.0), 400.0);
+  const auto e_800 =
+      energy(spec_, execute(spec_, kernel, w, 800.0), 800.0);
+  // Both below/at the knee: same voltage, so identical compute energy.
+  EXPECT_NEAR(e_400.compute_j / e_800.compute_j, 1.0, 1e-9);
+  // Above the knee the voltage rises, so per-op energy rises.
+  const double f_max = spec_.core_frequencies.max();
+  const auto e_max =
+      energy(spec_, execute(spec_, kernel, w, f_max), f_max);
+  EXPECT_GT(e_max.compute_j, e_800.compute_j * 1.5);
+}
+
+TEST_F(PowerModelTest, MemoryEnergyIndependentOfCoreClock) {
+  KernelProfile kernel;
+  kernel.global_bytes = 1024.0;
+  kernel.float_add = 1.0;
+  const std::size_t w = 10'000'000;
+  const auto lo = energy(spec_, execute(spec_, kernel, w, 500.0), 500.0);
+  const auto hi = energy(spec_, execute(spec_, kernel, w, 1597.0), 1597.0);
+  EXPECT_NEAR(lo.mem_j, hi.mem_j, 1e-12);
+}
+
+TEST_F(PowerModelTest, ClockEnergyRisesWithFrequencyAtFixedTime) {
+  // Memory-bound kernel: wall time constant, clock power ~ f V^2.
+  KernelProfile kernel;
+  kernel.global_bytes = 4096.0;
+  kernel.float_add = 4.0;
+  const std::size_t w = 10'000'000;
+  const auto lo = energy(spec_, execute(spec_, kernel, w, 1000.0), 1000.0);
+  const auto hi = energy(spec_, execute(spec_, kernel, w, 1597.0), 1597.0);
+  EXPECT_GT(hi.clock_j, lo.clock_j * 1.3);
+}
+
+TEST_F(PowerModelTest, AveragePowerWithinPhysicalEnvelope) {
+  // A fully loaded device should draw between idle and ~TDP-ish power.
+  KernelProfile kernel;
+  kernel.float_add = 500.0;
+  kernel.float_mul = 500.0;
+  kernel.global_bytes = 120.0;
+  const auto exec = execute(spec_, kernel, 100'000'000, 1597.0);
+  const auto e = energy(spec_, exec, 1597.0);
+  EXPECT_GT(e.avg_power_w, 100.0);
+  EXPECT_LT(e.avg_power_w, 330.0);
+}
+
+TEST_F(PowerModelTest, IdlePowerIncreasesWithFrequency) {
+  EXPECT_GT(idle_power_w(spec_, 1597.0), idle_power_w(spec_, 500.0));
+  EXPECT_GE(idle_power_w(spec_, 135.0), spec_.power.static_w);
+}
+
+TEST_F(PowerModelTest, UnderutilizedLaunchDrawsLessPower) {
+  KernelProfile kernel;
+  kernel.float_add = 1000.0;
+  const auto busy = execute(spec_, kernel, 100'000'000, 1312.0);
+  const auto idle = execute(spec_, kernel, 8, 1312.0);
+  const auto e_busy = energy(spec_, busy, 1312.0);
+  const auto e_idle = energy(spec_, idle, 1312.0);
+  EXPECT_LT(e_idle.avg_power_w, e_busy.avg_power_w * 0.6);
+}
+
+TEST_F(PowerModelTest, EnergyCurveOfComputeBoundKernelIsUShaped) {
+  // Total energy vs frequency for a compute-bound kernel: static term
+  // dominates at low f, voltage term at high f, minimum in between.
+  KernelProfile kernel;
+  kernel.float_add = 500.0;
+  kernel.float_mul = 500.0;
+  kernel.global_bytes = 8.0;
+  const std::size_t w = 50'000'000;
+  const auto e_at = [&](double f) {
+    return energy(spec_, execute(spec_, kernel, w, f), f).total_j;
+  };
+  const double e_lo = e_at(200.0);
+  const double e_mid = e_at(900.0);
+  const double e_hi = e_at(1597.0);
+  EXPECT_LT(e_mid, e_lo);
+  EXPECT_LT(e_mid, e_hi);
+}
+
+} // namespace
+} // namespace dsem::sim

@@ -1,0 +1,96 @@
+#include "synergy/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::synergy {
+namespace {
+
+sim::KernelProfile work_kernel() {
+  sim::KernelProfile p;
+  p.name = "work";
+  p.float_add = 64.0;
+  p.global_bytes = 32.0;
+  return p;
+}
+
+TEST(MakeBackend, PicksVendorBackend) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  EXPECT_EQ(make_backend(nv)->api_name(), "NVML");
+  EXPECT_EQ(make_backend(amd)->api_name(), "ROCm SMI");
+}
+
+TEST(NvmlBackend, RejectsWrongVendor) {
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  EXPECT_THROW(NvmlBackend backend(amd), contract_error);
+}
+
+TEST(RocmSmiBackend, RejectsWrongVendor) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  EXPECT_THROW(RocmSmiBackend backend(nv), contract_error);
+}
+
+TEST(NvmlBackend, ExposesFullSchedule) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  NvmlBackend backend(nv);
+  EXPECT_EQ(backend.supported_core_frequencies().size(), 196u);
+  EXPECT_NEAR(backend.default_core_frequency(), 1312.0, 8.0);
+}
+
+TEST(NvmlBackend, EnergyCounterInMillijoules) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  NvmlBackend backend(nv);
+  backend.launch(work_kernel(), 100000);
+  const double joules = nv.energy_joules();
+  EXPECT_NEAR(static_cast<double>(backend.energy_counter()), joules * 1000.0,
+              1.0);
+  EXPECT_DOUBLE_EQ(backend.energy_unit_joules(), 1e-3);
+}
+
+TEST(RocmSmiBackend, EnergyCounterIn15MicrojouleUnits) {
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  RocmSmiBackend backend(amd);
+  backend.launch(work_kernel(), 100000);
+  const double joules = amd.energy_joules();
+  EXPECT_NEAR(static_cast<double>(backend.energy_counter()) * 15.3e-6, joules,
+              joules * 1e-3 + 15.3e-6);
+}
+
+TEST(RocmSmiBackend, ResetReturnsToAutoGovernor) {
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  RocmSmiBackend backend(amd);
+  backend.set_core_frequency(500.0);
+  EXPECT_NEAR(backend.current_core_frequency(), 500.0, 10.0);
+  backend.reset_core_frequency();
+  EXPECT_TRUE(amd.is_auto());
+  EXPECT_NEAR(backend.current_core_frequency(), 1502.0, 10.0);
+}
+
+TEST(SynergyDevice, PortableEnergyInJoules) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  Device device(nv);
+  Queue queue(device);
+  queue.submit({work_kernel(), 100000, {}});
+  EXPECT_NEAR(device.energy_joules(), nv.energy_joules(), 1e-3);
+}
+
+TEST(SynergyDevice, SameApiAcrossVendors) {
+  sim::Device nv(sim::v100(), sim::NoiseConfig::none());
+  sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
+  std::vector<Device> devices;
+  devices.emplace_back(nv);
+  devices.emplace_back(amd);
+  for (Device& device : devices) {
+    EXPECT_FALSE(device.supported_frequencies().empty());
+    EXPECT_GT(device.default_frequency(), 0.0);
+    device.set_frequency(800.0);
+    EXPECT_NEAR(device.current_frequency(), 800.0, 10.0);
+    device.reset_frequency();
+  }
+}
+
+} // namespace
+} // namespace dsem::synergy

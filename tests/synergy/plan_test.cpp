@@ -1,0 +1,110 @@
+// Per-kernel frequency-plan behaviour of the queue (paper §7 extension).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::synergy {
+namespace {
+
+sim::KernelProfile kernel(const std::string& name) {
+  sim::KernelProfile p;
+  p.name = name;
+  p.float_add = 256.0;
+  p.global_bytes = 16.0;
+  return p;
+}
+
+class PlanTest : public ::testing::Test {
+protected:
+  PlanTest() : sim_(sim::v100(), sim::NoiseConfig::none()), device_(sim_) {}
+  sim::Device sim_;
+  Device device_;
+};
+
+TEST_F(PlanTest, PlannedKernelRunsAtPlannedFrequency) {
+  Queue queue(device_);
+  queue.set_kernel_frequency_plan({{"a", 700.0}, {"b", 1400.0}});
+  const auto ra = queue.submit({kernel("a"), 1000, {}});
+  const auto rb = queue.submit({kernel("b"), 1000, {}});
+  EXPECT_NEAR(ra.frequency_mhz, 700.0, 8.0);
+  EXPECT_NEAR(rb.frequency_mhz, 1400.0, 8.0);
+}
+
+TEST_F(PlanTest, UnplannedKernelFallsBackToDefault) {
+  Queue queue(device_);
+  queue.set_kernel_frequency_plan({{"a", 700.0}});
+  const auto r = queue.submit({kernel("other"), 1000, {}});
+  EXPECT_NEAR(r.frequency_mhz, device_.default_frequency(), 8.0);
+}
+
+TEST_F(PlanTest, ExplicitFallbackFrequencyUsed) {
+  Queue queue(device_);
+  queue.set_kernel_frequency_plan({{"a", 700.0}}, /*fallback_mhz=*/900.0);
+  const auto r = queue.submit({kernel("other"), 1000, {}});
+  EXPECT_NEAR(r.frequency_mhz, 900.0, 8.0);
+}
+
+TEST_F(PlanTest, ClearPlanRestoresManualControl) {
+  Queue queue(device_);
+  queue.set_kernel_frequency_plan({{"a", 700.0}});
+  queue.clear_kernel_frequency_plan();
+  EXPECT_FALSE(queue.has_kernel_frequency_plan());
+  queue.set_target_frequency(1100.0);
+  const auto r = queue.submit({kernel("a"), 1000, {}});
+  EXPECT_NEAR(r.frequency_mhz, 1100.0, 8.0);
+}
+
+TEST_F(PlanTest, RejectsInvalidPlans) {
+  Queue queue(device_);
+  EXPECT_THROW(queue.set_kernel_frequency_plan({}), dsem::contract_error);
+  EXPECT_THROW(queue.set_kernel_frequency_plan({{"a", -1.0}}),
+               dsem::contract_error);
+}
+
+TEST_F(PlanTest, SwitchPenaltyOnlyWhenFrequencyChanges) {
+  Queue queue(device_);
+  queue.set_target_frequency(1000.0);
+  const auto first = queue.submit({kernel("a"), 100000, {}});
+  const auto steady = queue.submit({kernel("a"), 100000, {}});
+  // Same frequency: no switch penalty between the two.
+  EXPECT_NEAR(first.time_s, steady.time_s, first.time_s * 1e-9);
+
+  queue.set_target_frequency(1005.0); // adjacent schedule entry
+  const auto switched = queue.submit({kernel("a"), 100000, {}});
+  const double switch_s =
+      device_.spec().freq_switch_overhead_us * 1e-6;
+  EXPECT_GT(switched.time_s, steady.time_s);
+  EXPECT_NEAR(switched.time_s - steady.time_s, switch_s,
+              switch_s * 0.25 + steady.time_s * 0.01);
+}
+
+TEST_F(PlanTest, FirstLaunchOfQueuePaysNoSwitch) {
+  // Large launch so constant overheads are negligible against compute.
+  Queue q1(device_);
+  q1.set_target_frequency(800.0);
+  const auto a = q1.submit({kernel("a"), 10'000'000, {}});
+
+  // A fresh queue at a different clock: its first launch is clean too.
+  Queue q2(device_);
+  q2.set_target_frequency(1400.0);
+  const auto b = q2.submit({kernel("a"), 10'000'000, {}});
+  // Both should match their pure-execution cost (ratio ~ freq ratio).
+  EXPECT_NEAR(a.time_s / b.time_s, b.frequency_mhz / a.frequency_mhz, 0.03);
+}
+
+TEST_F(PlanTest, ResetClearsSwitchTracking) {
+  Queue queue(device_);
+  queue.set_target_frequency(800.0);
+  queue.submit({kernel("a"), 100000, {}});
+  queue.reset();
+  queue.set_target_frequency(1400.0);
+  const auto r = queue.submit({kernel("a"), 100000, {}});
+  Queue fresh(device_);
+  fresh.set_target_frequency(1400.0);
+  const auto expected = fresh.submit({kernel("a"), 100000, {}});
+  EXPECT_NEAR(r.time_s, expected.time_s, expected.time_s * 1e-9);
+}
+
+} // namespace
+} // namespace dsem::synergy
