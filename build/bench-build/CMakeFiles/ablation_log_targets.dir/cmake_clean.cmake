@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_log_targets"
+  "../bench/ablation_log_targets.pdb"
+  "CMakeFiles/ablation_log_targets.dir/ablation_log_targets.cpp.o"
+  "CMakeFiles/ablation_log_targets.dir/ablation_log_targets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_log_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

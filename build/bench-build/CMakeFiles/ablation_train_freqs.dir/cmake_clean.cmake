@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_train_freqs"
+  "../bench/ablation_train_freqs.pdb"
+  "CMakeFiles/ablation_train_freqs.dir/ablation_train_freqs.cpp.o"
+  "CMakeFiles/ablation_train_freqs.dir/ablation_train_freqs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_train_freqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

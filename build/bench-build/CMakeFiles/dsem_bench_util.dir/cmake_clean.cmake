@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/dsem_bench_util.dir/bench_util.cpp.o.d"
+  "libdsem_bench_util.a"
+  "libdsem_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_distributed_scaling"
+  "../bench/extension_distributed_scaling.pdb"
+  "CMakeFiles/extension_distributed_scaling.dir/extension_distributed_scaling.cpp.o"
+  "CMakeFiles/extension_distributed_scaling.dir/extension_distributed_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_distributed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

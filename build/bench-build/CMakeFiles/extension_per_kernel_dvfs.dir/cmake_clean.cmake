@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_per_kernel_dvfs"
+  "../bench/extension_per_kernel_dvfs.pdb"
+  "CMakeFiles/extension_per_kernel_dvfs.dir/extension_per_kernel_dvfs.cpp.o"
+  "CMakeFiles/extension_per_kernel_dvfs.dir/extension_per_kernel_dvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_per_kernel_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_characterization"
+  "../bench/fig01_characterization.pdb"
+  "CMakeFiles/fig01_characterization.dir/fig01_characterization.cpp.o"
+  "CMakeFiles/fig01_characterization.dir/fig01_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

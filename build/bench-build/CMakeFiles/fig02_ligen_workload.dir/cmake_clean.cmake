@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_ligen_workload"
+  "../bench/fig02_ligen_workload.pdb"
+  "CMakeFiles/fig02_ligen_workload.dir/fig02_ligen_workload.cpp.o"
+  "CMakeFiles/fig02_ligen_workload.dir/fig02_ligen_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ligen_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

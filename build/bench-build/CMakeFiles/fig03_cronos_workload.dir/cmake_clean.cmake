@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_cronos_workload"
+  "../bench/fig03_cronos_workload.pdb"
+  "CMakeFiles/fig03_cronos_workload.dir/fig03_cronos_workload.cpp.o"
+  "CMakeFiles/fig03_cronos_workload.dir/fig03_cronos_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cronos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_cronos_v100"
+  "../bench/fig04_cronos_v100.pdb"
+  "CMakeFiles/fig04_cronos_v100.dir/fig04_cronos_v100.cpp.o"
+  "CMakeFiles/fig04_cronos_v100.dir/fig04_cronos_v100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cronos_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_cronos_v100.
+# This may be replaced when dependencies are built.

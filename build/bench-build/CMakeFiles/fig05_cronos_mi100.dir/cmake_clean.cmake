@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_cronos_mi100"
+  "../bench/fig05_cronos_mi100.pdb"
+  "CMakeFiles/fig05_cronos_mi100.dir/fig05_cronos_mi100.cpp.o"
+  "CMakeFiles/fig05_cronos_mi100.dir/fig05_cronos_mi100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cronos_mi100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_ligen_frags_v100"
+  "../bench/fig06_ligen_frags_v100.pdb"
+  "CMakeFiles/fig06_ligen_frags_v100.dir/fig06_ligen_frags_v100.cpp.o"
+  "CMakeFiles/fig06_ligen_frags_v100.dir/fig06_ligen_frags_v100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ligen_frags_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_ligen_frags_v100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_ligen_atoms_v100"
+  "../bench/fig08_ligen_atoms_v100.pdb"
+  "CMakeFiles/fig08_ligen_atoms_v100.dir/fig08_ligen_atoms_v100.cpp.o"
+  "CMakeFiles/fig08_ligen_atoms_v100.dir/fig08_ligen_atoms_v100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ligen_atoms_v100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_ligen_atoms_v100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_ligen_atoms_mi100"
+  "../bench/fig09_ligen_atoms_mi100.pdb"
+  "CMakeFiles/fig09_ligen_atoms_mi100.dir/fig09_ligen_atoms_mi100.cpp.o"
+  "CMakeFiles/fig09_ligen_atoms_mi100.dir/fig09_ligen_atoms_mi100.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ligen_atoms_mi100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ligen_ligands"
+  "../bench/fig10_ligen_ligands.pdb"
+  "CMakeFiles/fig10_ligen_ligands.dir/fig10_ligen_ligands.cpp.o"
+  "CMakeFiles/fig10_ligen_ligands.dir/fig10_ligen_ligands.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ligen_ligands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

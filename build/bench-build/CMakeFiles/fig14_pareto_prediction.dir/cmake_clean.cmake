@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_pareto_prediction"
+  "../bench/fig14_pareto_prediction.pdb"
+  "CMakeFiles/fig14_pareto_prediction.dir/fig14_pareto_prediction.cpp.o"
+  "CMakeFiles/fig14_pareto_prediction.dir/fig14_pareto_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pareto_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_cronos"
+  "../bench/perf_cronos.pdb"
+  "CMakeFiles/perf_cronos.dir/perf_cronos.cpp.o"
+  "CMakeFiles/perf_cronos.dir/perf_cronos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cronos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_cronos.
+# This may be replaced when dependencies are built.

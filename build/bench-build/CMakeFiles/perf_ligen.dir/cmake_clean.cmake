@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_ligen"
+  "../bench/perf_ligen.pdb"
+  "CMakeFiles/perf_ligen.dir/perf_ligen.cpp.o"
+  "CMakeFiles/perf_ligen.dir/perf_ligen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ligen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

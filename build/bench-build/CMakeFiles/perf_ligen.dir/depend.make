@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_ligen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_ml"
+  "../bench/perf_ml.pdb"
+  "CMakeFiles/perf_ml.dir/perf_ml.cpp.o"
+  "CMakeFiles/perf_ml.dir/perf_ml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

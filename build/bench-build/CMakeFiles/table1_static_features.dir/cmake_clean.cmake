@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_static_features"
+  "../bench/table1_static_features.pdb"
+  "CMakeFiles/table1_static_features.dir/table1_static_features.cpp.o"
+  "CMakeFiles/table1_static_features.dir/table1_static_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_static_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_regressor_selection"
+  "../bench/table_regressor_selection.pdb"
+  "CMakeFiles/table_regressor_selection.dir/table_regressor_selection.cpp.o"
+  "CMakeFiles/table_regressor_selection.dir/table_regressor_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_regressor_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_advisor.dir/frequency_advisor.cpp.o"
+  "CMakeFiles/frequency_advisor.dir/frequency_advisor.cpp.o.d"
+  "frequency_advisor"
+  "frequency_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

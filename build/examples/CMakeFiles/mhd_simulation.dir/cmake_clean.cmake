@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_simulation.dir/mhd_simulation.cpp.o"
+  "CMakeFiles/mhd_simulation.dir/mhd_simulation.cpp.o.d"
+  "mhd_simulation"
+  "mhd_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_screening_campaign.dir/virtual_screening_campaign.cpp.o"
+  "CMakeFiles/virtual_screening_campaign.dir/virtual_screening_campaign.cpp.o.d"
+  "virtual_screening_campaign"
+  "virtual_screening_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_screening_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/celerity/cluster.cpp" "src/celerity/CMakeFiles/dsem_celerity.dir/cluster.cpp.o" "gcc" "src/celerity/CMakeFiles/dsem_celerity.dir/cluster.cpp.o.d"
+  "/root/repo/src/celerity/distributed.cpp" "src/celerity/CMakeFiles/dsem_celerity.dir/distributed.cpp.o" "gcc" "src/celerity/CMakeFiles/dsem_celerity.dir/distributed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cronos/CMakeFiles/dsem_cronos.dir/DependInfo.cmake"
+  "/root/repo/build/src/synergy/CMakeFiles/dsem_synergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

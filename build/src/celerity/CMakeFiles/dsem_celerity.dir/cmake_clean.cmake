@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_celerity.dir/cluster.cpp.o"
+  "CMakeFiles/dsem_celerity.dir/cluster.cpp.o.d"
+  "CMakeFiles/dsem_celerity.dir/distributed.cpp.o"
+  "CMakeFiles/dsem_celerity.dir/distributed.cpp.o.d"
+  "libdsem_celerity.a"
+  "libdsem_celerity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_celerity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_common.dir/cli.cpp.o"
+  "CMakeFiles/dsem_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dsem_common.dir/statistics.cpp.o"
+  "CMakeFiles/dsem_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/dsem_common.dir/table.cpp.o"
+  "CMakeFiles/dsem_common.dir/table.cpp.o.d"
+  "CMakeFiles/dsem_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsem_common.dir/thread_pool.cpp.o.d"
+  "libdsem_common.a"
+  "libdsem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/dsem_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/dsem_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/ds_model.cpp" "src/core/CMakeFiles/dsem_core.dir/ds_model.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/ds_model.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/dsem_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/dsem_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/gp_model.cpp" "src/core/CMakeFiles/dsem_core.dir/gp_model.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/gp_model.cpp.o.d"
+  "/root/repo/src/core/kernel_planner.cpp" "src/core/CMakeFiles/dsem_core.dir/kernel_planner.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/kernel_planner.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/dsem_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/dsem_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/dsem_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/dsem_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cronos/CMakeFiles/dsem_cronos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ligen/CMakeFiles/dsem_ligen.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/dsem_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dsem_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synergy/CMakeFiles/dsem_synergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_core.dir/characterization.cpp.o"
+  "CMakeFiles/dsem_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/dataset.cpp.o"
+  "CMakeFiles/dsem_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/ds_model.cpp.o"
+  "CMakeFiles/dsem_core.dir/ds_model.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/evaluation.cpp.o"
+  "CMakeFiles/dsem_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/features.cpp.o"
+  "CMakeFiles/dsem_core.dir/features.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/gp_model.cpp.o"
+  "CMakeFiles/dsem_core.dir/gp_model.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/kernel_planner.cpp.o"
+  "CMakeFiles/dsem_core.dir/kernel_planner.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/measurement.cpp.o"
+  "CMakeFiles/dsem_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/pareto.cpp.o"
+  "CMakeFiles/dsem_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/dsem_core.dir/workload.cpp.o"
+  "CMakeFiles/dsem_core.dir/workload.cpp.o.d"
+  "libdsem_core.a"
+  "libdsem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

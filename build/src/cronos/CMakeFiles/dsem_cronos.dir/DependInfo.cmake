@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cronos/grid.cpp" "src/cronos/CMakeFiles/dsem_cronos.dir/grid.cpp.o" "gcc" "src/cronos/CMakeFiles/dsem_cronos.dir/grid.cpp.o.d"
+  "/root/repo/src/cronos/kernels.cpp" "src/cronos/CMakeFiles/dsem_cronos.dir/kernels.cpp.o" "gcc" "src/cronos/CMakeFiles/dsem_cronos.dir/kernels.cpp.o.d"
+  "/root/repo/src/cronos/law.cpp" "src/cronos/CMakeFiles/dsem_cronos.dir/law.cpp.o" "gcc" "src/cronos/CMakeFiles/dsem_cronos.dir/law.cpp.o.d"
+  "/root/repo/src/cronos/problems.cpp" "src/cronos/CMakeFiles/dsem_cronos.dir/problems.cpp.o" "gcc" "src/cronos/CMakeFiles/dsem_cronos.dir/problems.cpp.o.d"
+  "/root/repo/src/cronos/solver.cpp" "src/cronos/CMakeFiles/dsem_cronos.dir/solver.cpp.o" "gcc" "src/cronos/CMakeFiles/dsem_cronos.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synergy/CMakeFiles/dsem_synergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_cronos.dir/grid.cpp.o"
+  "CMakeFiles/dsem_cronos.dir/grid.cpp.o.d"
+  "CMakeFiles/dsem_cronos.dir/kernels.cpp.o"
+  "CMakeFiles/dsem_cronos.dir/kernels.cpp.o.d"
+  "CMakeFiles/dsem_cronos.dir/law.cpp.o"
+  "CMakeFiles/dsem_cronos.dir/law.cpp.o.d"
+  "CMakeFiles/dsem_cronos.dir/problems.cpp.o"
+  "CMakeFiles/dsem_cronos.dir/problems.cpp.o.d"
+  "CMakeFiles/dsem_cronos.dir/solver.cpp.o"
+  "CMakeFiles/dsem_cronos.dir/solver.cpp.o.d"
+  "libdsem_cronos.a"
+  "libdsem_cronos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_cronos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

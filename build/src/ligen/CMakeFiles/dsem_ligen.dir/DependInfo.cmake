@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ligen/dock.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/dock.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/dock.cpp.o.d"
+  "/root/repo/src/ligen/geometry.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/geometry.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/geometry.cpp.o.d"
+  "/root/repo/src/ligen/kernels.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/kernels.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/kernels.cpp.o.d"
+  "/root/repo/src/ligen/molecule.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/molecule.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/molecule.cpp.o.d"
+  "/root/repo/src/ligen/protein.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/protein.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/protein.cpp.o.d"
+  "/root/repo/src/ligen/screening.cpp" "src/ligen/CMakeFiles/dsem_ligen.dir/screening.cpp.o" "gcc" "src/ligen/CMakeFiles/dsem_ligen.dir/screening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synergy/CMakeFiles/dsem_synergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

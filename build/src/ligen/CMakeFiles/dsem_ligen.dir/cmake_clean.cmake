@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_ligen.dir/dock.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/dock.cpp.o.d"
+  "CMakeFiles/dsem_ligen.dir/geometry.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/geometry.cpp.o.d"
+  "CMakeFiles/dsem_ligen.dir/kernels.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/kernels.cpp.o.d"
+  "CMakeFiles/dsem_ligen.dir/molecule.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/molecule.cpp.o.d"
+  "CMakeFiles/dsem_ligen.dir/protein.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/protein.cpp.o.d"
+  "CMakeFiles/dsem_ligen.dir/screening.cpp.o"
+  "CMakeFiles/dsem_ligen.dir/screening.cpp.o.d"
+  "libdsem_ligen.a"
+  "libdsem_ligen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_ligen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsem_ligen.
+# This may be replaced when dependencies are built.

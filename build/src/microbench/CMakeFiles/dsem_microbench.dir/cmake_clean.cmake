@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_microbench.dir/suite.cpp.o"
+  "CMakeFiles/dsem_microbench.dir/suite.cpp.o.d"
+  "libdsem_microbench.a"
+  "libdsem_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

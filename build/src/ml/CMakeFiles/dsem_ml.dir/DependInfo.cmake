@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/dsem_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/lasso.cpp" "src/ml/CMakeFiles/dsem_ml.dir/lasso.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/lasso.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/dsem_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/dsem_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/model_selection.cpp" "src/ml/CMakeFiles/dsem_ml.dir/model_selection.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/model_selection.cpp.o.d"
+  "/root/repo/src/ml/regressor.cpp" "src/ml/CMakeFiles/dsem_ml.dir/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/regressor.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/dsem_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/svr.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/dsem_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/dsem_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

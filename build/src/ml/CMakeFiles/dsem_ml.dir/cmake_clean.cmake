@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_ml.dir/forest.cpp.o"
+  "CMakeFiles/dsem_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/lasso.cpp.o"
+  "CMakeFiles/dsem_ml.dir/lasso.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/linear.cpp.o"
+  "CMakeFiles/dsem_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/matrix.cpp.o"
+  "CMakeFiles/dsem_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/model_selection.cpp.o"
+  "CMakeFiles/dsem_ml.dir/model_selection.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/regressor.cpp.o"
+  "CMakeFiles/dsem_ml.dir/regressor.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/svr.cpp.o"
+  "CMakeFiles/dsem_ml.dir/svr.cpp.o.d"
+  "CMakeFiles/dsem_ml.dir/tree.cpp.o"
+  "CMakeFiles/dsem_ml.dir/tree.cpp.o.d"
+  "libdsem_ml.a"
+  "libdsem_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsem_ml.a"
+)

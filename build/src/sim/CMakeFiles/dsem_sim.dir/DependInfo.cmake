@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/dsem_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/device_spec.cpp" "src/sim/CMakeFiles/dsem_sim.dir/device_spec.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/sim/execution_model.cpp" "src/sim/CMakeFiles/dsem_sim.dir/execution_model.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/execution_model.cpp.o.d"
+  "/root/repo/src/sim/frequency.cpp" "src/sim/CMakeFiles/dsem_sim.dir/frequency.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/frequency.cpp.o.d"
+  "/root/repo/src/sim/kernel_ir.cpp" "src/sim/CMakeFiles/dsem_sim.dir/kernel_ir.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/kernel_ir.cpp.o.d"
+  "/root/repo/src/sim/kernel_profile.cpp" "src/sim/CMakeFiles/dsem_sim.dir/kernel_profile.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/dsem_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/dsem_sim.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_sim.dir/device.cpp.o"
+  "CMakeFiles/dsem_sim.dir/device.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/device_spec.cpp.o"
+  "CMakeFiles/dsem_sim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/execution_model.cpp.o"
+  "CMakeFiles/dsem_sim.dir/execution_model.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/frequency.cpp.o"
+  "CMakeFiles/dsem_sim.dir/frequency.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/kernel_ir.cpp.o"
+  "CMakeFiles/dsem_sim.dir/kernel_ir.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/kernel_profile.cpp.o"
+  "CMakeFiles/dsem_sim.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/dsem_sim.dir/power_model.cpp.o"
+  "CMakeFiles/dsem_sim.dir/power_model.cpp.o.d"
+  "libdsem_sim.a"
+  "libdsem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

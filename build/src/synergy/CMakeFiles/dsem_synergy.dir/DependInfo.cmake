@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synergy/backend.cpp" "src/synergy/CMakeFiles/dsem_synergy.dir/backend.cpp.o" "gcc" "src/synergy/CMakeFiles/dsem_synergy.dir/backend.cpp.o.d"
+  "/root/repo/src/synergy/queue.cpp" "src/synergy/CMakeFiles/dsem_synergy.dir/queue.cpp.o" "gcc" "src/synergy/CMakeFiles/dsem_synergy.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_synergy.dir/backend.cpp.o"
+  "CMakeFiles/dsem_synergy.dir/backend.cpp.o.d"
+  "CMakeFiles/dsem_synergy.dir/queue.cpp.o"
+  "CMakeFiles/dsem_synergy.dir/queue.cpp.o.d"
+  "libdsem_synergy.a"
+  "libdsem_synergy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_synergy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

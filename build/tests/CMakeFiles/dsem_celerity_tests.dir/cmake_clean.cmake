@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_celerity_tests.dir/celerity/cluster_test.cpp.o"
+  "CMakeFiles/dsem_celerity_tests.dir/celerity/cluster_test.cpp.o.d"
+  "CMakeFiles/dsem_celerity_tests.dir/celerity/distributed_test.cpp.o"
+  "CMakeFiles/dsem_celerity_tests.dir/celerity/distributed_test.cpp.o.d"
+  "dsem_celerity_tests"
+  "dsem_celerity_tests.pdb"
+  "dsem_celerity_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_celerity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/dsem_common_tests.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/dsem_common_tests.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/dsem_common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dsem_common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/statistics_test.cpp" "tests/CMakeFiles/dsem_common_tests.dir/common/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/dsem_common_tests.dir/common/statistics_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/dsem_common_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/dsem_common_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/dsem_common_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/dsem_common_tests.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/celerity/CMakeFiles/dsem_celerity.dir/DependInfo.cmake"
+  "/root/repo/build/src/cronos/CMakeFiles/dsem_cronos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ligen/CMakeFiles/dsem_ligen.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/dsem_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dsem_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synergy/CMakeFiles/dsem_synergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

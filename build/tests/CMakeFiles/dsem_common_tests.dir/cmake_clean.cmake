@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_common_tests.dir/common/cli_test.cpp.o"
+  "CMakeFiles/dsem_common_tests.dir/common/cli_test.cpp.o.d"
+  "CMakeFiles/dsem_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/dsem_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/dsem_common_tests.dir/common/statistics_test.cpp.o"
+  "CMakeFiles/dsem_common_tests.dir/common/statistics_test.cpp.o.d"
+  "CMakeFiles/dsem_common_tests.dir/common/table_test.cpp.o"
+  "CMakeFiles/dsem_common_tests.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/dsem_common_tests.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/dsem_common_tests.dir/common/thread_pool_test.cpp.o.d"
+  "dsem_common_tests"
+  "dsem_common_tests.pdb"
+  "dsem_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

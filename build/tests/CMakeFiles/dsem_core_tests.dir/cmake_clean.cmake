@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_core_tests.dir/core/calibration_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/calibration_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/evaluation_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/evaluation_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/features_dataset_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/features_dataset_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/kernel_planner_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/kernel_planner_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/measurement_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/measurement_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/mi100_workflow_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/mi100_workflow_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/models_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/models_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/pareto_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/pareto_test.cpp.o.d"
+  "CMakeFiles/dsem_core_tests.dir/core/workload_test.cpp.o"
+  "CMakeFiles/dsem_core_tests.dir/core/workload_test.cpp.o.d"
+  "dsem_core_tests"
+  "dsem_core_tests.pdb"
+  "dsem_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

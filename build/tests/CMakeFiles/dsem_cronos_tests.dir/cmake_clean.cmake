@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/grid_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/grid_test.cpp.o.d"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/kernels_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/kernels_test.cpp.o.d"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/law_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/law_test.cpp.o.d"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/problems_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/problems_test.cpp.o.d"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/solver_physics_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/solver_physics_test.cpp.o.d"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/solver_test.cpp.o"
+  "CMakeFiles/dsem_cronos_tests.dir/cronos/solver_test.cpp.o.d"
+  "dsem_cronos_tests"
+  "dsem_cronos_tests.pdb"
+  "dsem_cronos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_cronos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/dock_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/dock_test.cpp.o.d"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/geometry_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/geometry_test.cpp.o.d"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/kernels_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/kernels_test.cpp.o.d"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/molecule_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/molecule_test.cpp.o.d"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/protein_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/protein_test.cpp.o.d"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/screening_test.cpp.o"
+  "CMakeFiles/dsem_ligen_tests.dir/ligen/screening_test.cpp.o.d"
+  "dsem_ligen_tests"
+  "dsem_ligen_tests.pdb"
+  "dsem_ligen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_ligen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_microbench_tests.dir/microbench/suite_test.cpp.o"
+  "CMakeFiles/dsem_microbench_tests.dir/microbench/suite_test.cpp.o.d"
+  "dsem_microbench_tests"
+  "dsem_microbench_tests.pdb"
+  "dsem_microbench_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_microbench_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

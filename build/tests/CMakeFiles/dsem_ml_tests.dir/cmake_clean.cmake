@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_ml_tests.dir/ml/matrix_test.cpp.o"
+  "CMakeFiles/dsem_ml_tests.dir/ml/matrix_test.cpp.o.d"
+  "CMakeFiles/dsem_ml_tests.dir/ml/model_selection_test.cpp.o"
+  "CMakeFiles/dsem_ml_tests.dir/ml/model_selection_test.cpp.o.d"
+  "CMakeFiles/dsem_ml_tests.dir/ml/regressors_test.cpp.o"
+  "CMakeFiles/dsem_ml_tests.dir/ml/regressors_test.cpp.o.d"
+  "dsem_ml_tests"
+  "dsem_ml_tests.pdb"
+  "dsem_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

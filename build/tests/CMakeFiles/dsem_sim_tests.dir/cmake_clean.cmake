@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_sim_tests.dir/sim/device_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/device_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/execution_model_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/execution_model_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/frequency_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/frequency_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/intel_device_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/intel_device_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/kernel_ir_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/kernel_ir_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/kernel_profile_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/kernel_profile_test.cpp.o.d"
+  "CMakeFiles/dsem_sim_tests.dir/sim/power_model_test.cpp.o"
+  "CMakeFiles/dsem_sim_tests.dir/sim/power_model_test.cpp.o.d"
+  "dsem_sim_tests"
+  "dsem_sim_tests.pdb"
+  "dsem_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/backend_test.cpp.o"
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/backend_test.cpp.o.d"
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/plan_test.cpp.o"
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/plan_test.cpp.o.d"
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/queue_test.cpp.o"
+  "CMakeFiles/dsem_synergy_tests.dir/synergy/queue_test.cpp.o.d"
+  "dsem_synergy_tests"
+  "dsem_synergy_tests.pdb"
+  "dsem_synergy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsem_synergy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

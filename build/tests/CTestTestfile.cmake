@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dsem_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_synergy_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_cronos_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_ligen_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_celerity_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_microbench_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/dsem_integration_tests[1]_include.cmake")
