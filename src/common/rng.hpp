@@ -30,6 +30,18 @@ private:
   std::uint64_t state_;
 };
 
+/// Derives the seed of stream `stream` from a base seed. A pure function
+/// of its arguments: parallel grids that seed task k with
+/// derive_seed(base, k) produce bit-identical results no matter how tasks
+/// are scheduled across threads. Consecutive streams are decorrelated by
+/// the SplitMix64 finalizer.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t stream) noexcept {
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
 public:

@@ -1,8 +1,29 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dsem {
+
+namespace {
+
+// DSEM_THREADS sizing for the global pool: a positive integer pins the
+// worker count (1 = exact serial execution); unset, empty, 0, or
+// malformed values fall back to hardware_concurrency.
+std::size_t global_pool_size() {
+  const char* env = std::getenv("DSEM_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,15 +35,33 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) {
-    w.join();
+    if (w.joinable()) {
+      w.join();
+    }
   }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) {
+      return false;
+    }
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -42,7 +81,7 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_pool_size());
   return pool;
 }
 
@@ -73,6 +112,7 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
+      pool.help_while_waiting(f);
       f.get();
     } catch (...) {
       if (!first_error) {

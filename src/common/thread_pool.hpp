@@ -5,8 +5,14 @@
 // callers never observe partially-applied parallel updates. Tasks must not
 // share mutable state (CP.2/CP.3); the helpers hand each task a disjoint
 // index range, which makes that property easy to uphold.
+//
+// Blocked waiters help: while a parallel_for / parallel_reduce waits for
+// its chunks it executes queued tasks on the calling thread, so nested
+// parallel sections (e.g. a forest fit inside a cross-validation fold)
+// cannot deadlock the pool and idle no worker.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -32,6 +38,10 @@ public:
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
 
+  /// Drains outstanding tasks and joins all workers. Safe to call more
+  /// than once; submit() on a stopped pool fails.
+  void stop();
+
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Enqueue an arbitrary task; the future rethrows task exceptions.
@@ -50,7 +60,28 @@ public:
     return result;
   }
 
-  /// Singleton pool shared across the library. Sized once on first use.
+  /// Runs one queued task on the calling thread, if one is pending.
+  /// Returns false when the queue is empty.
+  bool try_run_one();
+
+  /// Waits for `future` to become ready, executing queued tasks on the
+  /// calling thread in the meantime (deadlock-free nested parallelism).
+  template <typename T>
+  void help_while_waiting(std::future<T>& future) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one()) {
+        // Nothing left to steal: the awaited chunk is running on another
+        // thread; block until it finishes.
+        future.wait();
+        return;
+      }
+    }
+  }
+
+  /// Singleton pool shared across the library. Sized once on first use:
+  /// the DSEM_THREADS environment variable when set to a positive integer
+  /// (1 forces exact serial execution), hardware_concurrency otherwise.
   static ThreadPool& global();
 
 private:
@@ -112,6 +143,7 @@ T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   T acc = init;
   for (auto& p : partials) {
+    pool.help_while_waiting(p);
     acc = combine(acc, p.get());
   }
   return acc;

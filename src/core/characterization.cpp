@@ -48,19 +48,20 @@ double Characterization::best_speedup_gain() const {
 }
 
 Characterization characterize(synergy::Device& device,
-                              const Workload& workload, int repetitions,
+                              const Workload& workload,
+                              const SweepOptions& options,
                               std::span<const double> freqs) {
-  Characterization out;
-  out.default_freq_mhz = device.default_frequency();
-  const Measurement base = measure_default(device, workload, repetitions);
-  out.default_time_s = base.time_s;
-  out.default_energy_j = base.energy_j;
+  const FrequencySweep sweep = sweep_workload(device, workload, freqs, options);
+  const Measurement& base = sweep.baseline;
   DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
               "degenerate baseline measurement");
 
-  const auto sweep = sweep_frequencies(device, workload, repetitions, freqs);
-  out.points.reserve(sweep.size());
-  for (const SweepPoint& sp : sweep) {
+  Characterization out;
+  out.default_freq_mhz = sweep.default_freq_mhz;
+  out.default_time_s = base.time_s;
+  out.default_energy_j = base.energy_j;
+  out.points.reserve(sweep.points.size());
+  for (const SweepPoint& sp : sweep.points) {
     CharacterizationPoint p;
     p.freq_mhz = sp.freq_mhz;
     p.time_s = sp.m.time_s;
@@ -73,6 +74,16 @@ Characterization characterize(synergy::Device& device,
     out.points[idx].pareto = true;
   }
   return out;
+}
+
+Characterization characterize(synergy::Device& device,
+                              const Workload& workload, int repetitions,
+                              std::span<const double> freqs) {
+  sim::ProfileCache cache;
+  SweepOptions options;
+  options.repetitions = repetitions;
+  options.cache = &cache;
+  return characterize(device, workload, options, freqs);
 }
 
 } // namespace dsem::core

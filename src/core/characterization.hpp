@@ -5,6 +5,7 @@
 
 #include "core/measurement.hpp"
 #include "core/pareto.hpp"
+#include "core/sweep.hpp"
 
 namespace dsem::core {
 
@@ -35,7 +36,16 @@ struct Characterization {
 };
 
 /// Full-sweep characterization: every supported frequency (or `freqs`),
-/// normalized against the device's default/auto configuration.
+/// normalized against the device's default/auto configuration. Runs the
+/// grid through the deterministic parallel sweep engine — see
+/// core/sweep.hpp for the pool/cache knobs and the determinism contract.
+Characterization characterize(synergy::Device& device,
+                              const Workload& workload,
+                              const SweepOptions& options,
+                              std::span<const double> freqs = {});
+
+/// Convenience overload: default sweep options with `repetitions` and a
+/// sweep-local profile cache.
 Characterization characterize(synergy::Device& device,
                               const Workload& workload,
                               int repetitions = kDefaultRepetitions,

@@ -26,7 +26,8 @@ int Dataset::group_of(const std::string& name) const {
 
 Dataset build_dataset(synergy::Device& device,
                       std::span<const std::unique_ptr<Workload>> workloads,
-                      int repetitions, std::span<const double> freqs) {
+                      const SweepOptions& options,
+                      std::span<const double> freqs) {
   DSEM_ENSURE(!workloads.empty(), "build_dataset: no workloads");
   std::vector<double> all_freqs;
   if (freqs.empty()) {
@@ -38,30 +39,42 @@ Dataset build_dataset(synergy::Device& device,
   Dataset ds;
   ds.x = ml::Matrix(workloads.size() * freqs.size(), feature_width + 1);
 
+  const std::vector<FrequencySweep> sweeps =
+      sweep_workloads(device, workloads, freqs, options);
+
   std::size_t row = 0;
   for (std::size_t w = 0; w < workloads.size(); ++w) {
     const Workload& workload = *workloads[w];
     const std::vector<double> features = workload.domain_features();
     DSEM_ENSURE(features.size() == feature_width,
                 "workloads disagree on feature width");
+    const FrequencySweep& sweep = sweeps[w];
 
     ds.group_names.push_back(workload.name());
-    ds.default_freq_mhz.push_back(device.default_frequency());
-    ds.group_default.push_back(
-        measure_default(device, workload, repetitions));
+    ds.default_freq_mhz.push_back(sweep.default_freq_mhz);
+    ds.group_default.push_back(sweep.baseline);
 
-    for (double f : freqs) {
-      const Measurement m = measure(device, workload, f, repetitions);
+    for (const SweepPoint& sp : sweep.points) {
       auto dst = ds.x.row(row);
       std::copy(features.begin(), features.end(), dst.begin());
-      dst[feature_width] = f;
-      ds.time_s.push_back(m.time_s);
-      ds.energy_j.push_back(m.energy_j);
+      dst[feature_width] = sp.freq_mhz;
+      ds.time_s.push_back(sp.m.time_s);
+      ds.energy_j.push_back(sp.m.energy_j);
       ds.groups.push_back(static_cast<int>(w));
       ++row;
     }
   }
   return ds;
+}
+
+Dataset build_dataset(synergy::Device& device,
+                      std::span<const std::unique_ptr<Workload>> workloads,
+                      int repetitions, std::span<const double> freqs) {
+  sim::ProfileCache cache;
+  SweepOptions options;
+  options.repetitions = repetitions;
+  options.cache = &cache;
+  return build_dataset(device, workloads, options, freqs);
 }
 
 } // namespace dsem::core

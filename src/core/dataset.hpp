@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/measurement.hpp"
+#include "core/sweep.hpp"
 #include "ml/matrix.hpp"
 
 namespace dsem::core {
@@ -36,6 +37,15 @@ struct Dataset {
 
 /// Measures every workload at every frequency in `freqs` (all supported
 /// when empty), `repetitions` times each, plus the default-clock baseline.
+/// The (workload x frequency) grid runs through the deterministic parallel
+/// sweep engine (core/sweep.hpp): identical output for any pool size.
+Dataset build_dataset(synergy::Device& device,
+                      std::span<const std::unique_ptr<Workload>> workloads,
+                      const SweepOptions& options,
+                      std::span<const double> freqs = {});
+
+/// Convenience overload: default sweep options with `repetitions` and a
+/// sweep-local profile cache.
 Dataset build_dataset(synergy::Device& device,
                       std::span<const std::unique_ptr<Workload>> workloads,
                       int repetitions = kDefaultRepetitions,

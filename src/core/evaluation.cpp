@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/statistics.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dsem::core {
 
@@ -79,30 +80,40 @@ AccuracyReport evaluate_accuracy(
     report = all_names;
   }
 
+  // Leave-one-input-out folds are independent: each trains its own DS
+  // model on disjoint state and writes one pre-sized row. Folds run in
+  // parallel on the global pool; the forest fits inside each fold nest on
+  // the same pool without deadlock (blocked waiters execute queued tasks).
   AccuracyReport out;
-  for (const std::string& name : report) {
-    const int g = dataset.group_of(name);
-    const auto ug = static_cast<std::size_t>(g);
-    const Workload& workload = *workloads[ug];
-    const TruthCurves truth = truth_curves(dataset, g);
+  out.rows.resize(report.size());
+  parallel_for(
+      ThreadPool::global(), 0, report.size(),
+      [&](std::size_t i) {
+        const std::string& name = report[i];
+        const int g = dataset.group_of(name);
+        const auto ug = static_cast<std::size_t>(g);
+        const Workload& workload = *workloads[ug];
+        const TruthCurves truth = truth_curves(dataset, g);
 
-    DomainSpecificModel ds = make_ds_model(ds_prototype);
-    ds.train(dataset, training_rows_excluding(dataset, g));
-    const Prediction ds_pred =
-        ds.predict(workload.domain_features(), truth.freqs_mhz,
-                   dataset.default_freq_mhz[ug]);
-    const Prediction gp_pred =
-        gp.predict(workload.aggregate_profile(), truth.freqs_mhz,
-                   dataset.default_freq_mhz[ug]);
+        DomainSpecificModel ds = make_ds_model(ds_prototype);
+        ds.train(dataset, training_rows_excluding(dataset, g));
+        const Prediction ds_pred =
+            ds.predict(workload.domain_features(), truth.freqs_mhz,
+                       dataset.default_freq_mhz[ug]);
+        const Prediction gp_pred =
+            gp.predict(workload.aggregate_profile(), truth.freqs_mhz,
+                       dataset.default_freq_mhz[ug]);
 
-    AccuracyRow row;
-    row.input = name;
-    row.ds_speedup_mape = stats::mape(truth.speedup, ds_pred.speedup);
-    row.ds_energy_mape = stats::mape(truth.norm_energy, ds_pred.norm_energy);
-    row.gp_speedup_mape = stats::mape(truth.speedup, gp_pred.speedup);
-    row.gp_energy_mape = stats::mape(truth.norm_energy, gp_pred.norm_energy);
-    out.rows.push_back(std::move(row));
-  }
+        AccuracyRow& row = out.rows[i];
+        row.input = name;
+        row.ds_speedup_mape = stats::mape(truth.speedup, ds_pred.speedup);
+        row.ds_energy_mape =
+            stats::mape(truth.norm_energy, ds_pred.norm_energy);
+        row.gp_speedup_mape = stats::mape(truth.speedup, gp_pred.speedup);
+        row.gp_energy_mape =
+            stats::mape(truth.norm_energy, gp_pred.norm_energy);
+      },
+      /*grain=*/1);
   return out;
 }
 

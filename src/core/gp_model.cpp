@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "core/features.hpp"
+#include "core/sweep.hpp"
 
 namespace dsem::core {
 
@@ -37,17 +38,21 @@ void GeneralPurposeModel::train(
     freqs.push_back(all_freqs[i]);
   }
 
-  const auto run = [&](const microbench::MicroBenchmark& mb) {
-    double time = 0.0;
-    double energy = 0.0;
-    for (int r = 0; r < repetitions; ++r) {
-      synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+  // One sweep task per micro-benchmark; the engine measures the baseline
+  // and every strided frequency in parallel on deterministic replicas.
+  std::vector<SweepTask> tasks;
+  tasks.reserve(suite.size());
+  for (const microbench::MicroBenchmark& mb : suite) {
+    tasks.push_back({[&mb](synergy::Queue& queue) {
       queue.submit({mb.profile, mb.work_items, {}});
-      time += queue.total_time_s();
-      energy += queue.total_energy_j();
-    }
-    return std::pair{time / repetitions, energy / repetitions};
-  };
+    }});
+  }
+  sim::ProfileCache cache;
+  SweepOptions options;
+  options.repetitions = repetitions;
+  options.cache = &cache;
+  const std::vector<FrequencySweep> sweeps =
+      sweep_grid(device, tasks, freqs, options);
 
   ml::Matrix x(suite.size() * freqs.size(), sim::kNumStaticFeatures + 1);
   std::vector<double> y_speedup;
@@ -56,20 +61,20 @@ void GeneralPurposeModel::train(
   y_energy.reserve(suite.size() * freqs.size());
 
   std::size_t row = 0;
-  for (const microbench::MicroBenchmark& mb : suite) {
-    device.reset_frequency();
-    const auto [t_base, e_base] = run(mb);
-    DSEM_ENSURE(t_base > 0.0 && e_base > 0.0, "degenerate baseline");
-    const std::vector<double> features = static_feature_vector(mb.profile);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const FrequencySweep& sweep = sweeps[i];
+    const Measurement& base = sweep.baseline;
+    DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
+                "degenerate baseline");
+    const std::vector<double> features =
+        static_feature_vector(suite[i].profile);
 
-    for (double f : freqs) {
-      device.set_frequency(f);
-      const auto [t, e] = run(mb);
+    for (const SweepPoint& sp : sweep.points) {
       auto dst = x.row(row);
       std::copy(features.begin(), features.end(), dst.begin());
-      dst[sim::kNumStaticFeatures] = f;
-      y_speedup.push_back(t_base / t);
-      y_energy.push_back(e / e_base);
+      dst[sim::kNumStaticFeatures] = sp.freq_mhz;
+      y_speedup.push_back(base.time_s / sp.m.time_s);
+      y_energy.push_back(sp.m.energy_j / base.energy_j);
       ++row;
     }
   }

@@ -1,62 +1,56 @@
 #include "core/measurement.hpp"
 
 #include "common/error.hpp"
+#include "core/sweep.hpp"
 
 namespace dsem::core {
 
-namespace {
-
-Measurement run_once(synergy::Device& device, const Workload& workload) {
-  synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
-  workload.submit(queue);
-  return Measurement{queue.total_time_s(), queue.total_energy_j()};
-}
-
-Measurement run_repeated(synergy::Device& device, const Workload& workload,
-                         int repetitions) {
+Measurement measure_run(synergy::Device& device, const RunFn& run,
+                        int repetitions, sim::ProfileCache* cache) {
   DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
+  DSEM_ENSURE(static_cast<bool>(run), "measure_run requires a run function");
   Measurement acc;
   for (int r = 0; r < repetitions; ++r) {
-    const Measurement m = run_once(device, workload);
-    acc.time_s += m.time_s;
-    acc.energy_j += m.energy_j;
+    synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+    queue.set_profile_cache(cache);
+    run(queue);
+    acc.time_s += queue.total_time_s();
+    acc.energy_j += queue.total_energy_j();
   }
   acc.time_s /= repetitions;
   acc.energy_j /= repetitions;
   return acc;
 }
 
-} // namespace
-
 Measurement measure(synergy::Device& device, const Workload& workload,
-                    double freq_mhz, int repetitions) {
+                    double freq_mhz, int repetitions,
+                    sim::ProfileCache* cache) {
   device.set_frequency(freq_mhz);
-  const Measurement m = run_repeated(device, workload, repetitions);
+  const Measurement m = measure_run(
+      device, [&](synergy::Queue& q) { workload.submit(q); }, repetitions,
+      cache);
   device.reset_frequency();
   return m;
 }
 
 Measurement measure_default(synergy::Device& device, const Workload& workload,
-                            int repetitions) {
+                            int repetitions, sim::ProfileCache* cache) {
   device.reset_frequency();
-  return run_repeated(device, workload, repetitions);
+  return measure_run(
+      device, [&](synergy::Queue& q) { workload.submit(q); }, repetitions,
+      cache);
 }
 
 std::vector<SweepPoint> sweep_frequencies(synergy::Device& device,
                                           const Workload& workload,
                                           int repetitions,
                                           std::span<const double> freqs) {
-  std::vector<double> all;
-  if (freqs.empty()) {
-    all = device.supported_frequencies();
-    freqs = all;
-  }
-  std::vector<SweepPoint> sweep;
-  sweep.reserve(freqs.size());
-  for (double f : freqs) {
-    sweep.push_back({f, measure(device, workload, f, repetitions)});
-  }
-  return sweep;
+  sim::ProfileCache cache;
+  SweepOptions options;
+  options.repetitions = repetitions;
+  options.cache = &cache;
+  FrequencySweep sweep = sweep_workload(device, workload, freqs, options);
+  return std::move(sweep.points);
 }
 
 } // namespace dsem::core

@@ -2,13 +2,17 @@
 //
 // Mirrors the paper's experimental setup (§5.1): each configuration is
 // executed and profiled through the SYnergy layer, repeated `repetitions`
-// times (5 in the paper) and averaged to damp measurement noise.
+// times (5 in the paper) and averaged to damp measurement noise. All
+// entry points optionally share a sim::ProfileCache so the noise-free
+// cost of repeated (kernel, input, frequency) launches is derived once.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/workload.hpp"
+#include "sim/profile_cache.hpp"
 #include "synergy/device.hpp"
 
 namespace dsem::core {
@@ -16,27 +20,44 @@ namespace dsem::core {
 struct Measurement {
   double time_s = 0.0;
   double energy_j = 0.0;
+
+  bool operator==(const Measurement&) const = default;
 };
 
 inline constexpr int kDefaultRepetitions = 5;
 
+/// One application run as the measurement layer sees it: submits the full
+/// kernel sequence into the queue exactly once.
+using RunFn = std::function<void(synergy::Queue&)>;
+
+/// Runs `run` at the device's current clocking, averaging `repetitions`
+/// executions. The building block of every measurement below.
+Measurement measure_run(synergy::Device& device, const RunFn& run,
+                        int repetitions = kDefaultRepetitions,
+                        sim::ProfileCache* cache = nullptr);
+
 /// Runs `workload` with the core clock pinned at `freq_mhz`, averaging
 /// `repetitions` runs. Restores the device default clock afterwards.
 Measurement measure(synergy::Device& device, const Workload& workload,
-                    double freq_mhz, int repetitions = kDefaultRepetitions);
+                    double freq_mhz, int repetitions = kDefaultRepetitions,
+                    sim::ProfileCache* cache = nullptr);
 
 /// Same, at the device's default/auto clocking.
 Measurement measure_default(synergy::Device& device, const Workload& workload,
-                            int repetitions = kDefaultRepetitions);
+                            int repetitions = kDefaultRepetitions,
+                            sim::ProfileCache* cache = nullptr);
 
 struct SweepPoint {
   double freq_mhz = 0.0;
   Measurement m;
+
+  bool operator==(const SweepPoint&) const = default;
 };
 
 /// Measures the workload at every frequency in `freqs` (all supported
 /// frequencies when empty), plus nothing else — callers pair this with
-/// measure_default for baselines.
+/// measure_default for baselines. Runs through the deterministic parallel
+/// sweep engine (core/sweep.hpp) on the global thread pool.
 std::vector<SweepPoint> sweep_frequencies(
     synergy::Device& device, const Workload& workload,
     int repetitions = kDefaultRepetitions, std::span<const double> freqs = {});

@@ -1,0 +1,93 @@
+#include "core/sweep.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dsem::core {
+
+std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
+                                       std::span<const SweepTask> tasks,
+                                       std::span<const double> freqs,
+                                       const SweepOptions& options) {
+  DSEM_ENSURE(!tasks.empty(), "sweep_grid: no tasks");
+  DSEM_ENSURE(options.repetitions >= 1, "repetitions must be >= 1");
+  for (const SweepTask& task : tasks) {
+    DSEM_ENSURE(static_cast<bool>(task.run), "sweep_grid: empty task");
+  }
+
+  std::vector<double> all_freqs;
+  if (freqs.empty()) {
+    all_freqs = device.supported_frequencies();
+    freqs = all_freqs;
+  }
+  DSEM_ENSURE(!freqs.empty(), "sweep_grid: device supports no frequencies");
+
+  // Grid layout: flat index = task * (freqs + 1) + k, where k == 0 is the
+  // default-clock baseline and k >= 1 is freqs[k - 1]. The seed of each
+  // point is a pure function of its flat index, so the result grid does
+  // not depend on thread count or scheduling order.
+  const sim::Device& base = device.simulated();
+  const std::uint64_t base_seed = base.seed();
+  const std::size_t stride = freqs.size() + 1;
+  const std::size_t n = tasks.size() * stride;
+  const double default_freq = device.default_frequency();
+
+  std::vector<Measurement> grid(n);
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::global();
+  parallel_for(
+      pool, 0, n,
+      [&](std::size_t idx) {
+        const std::size_t t = idx / stride;
+        const std::size_t k = idx % stride;
+        sim::Device rep = base.replica(derive_seed(base_seed, idx));
+        synergy::Device dev(rep);
+        if (k == 0) {
+          dev.reset_frequency();
+        } else {
+          dev.set_frequency(freqs[k - 1]);
+        }
+        grid[idx] = measure_run(dev, tasks[t].run, options.repetitions,
+                                options.cache);
+      },
+      /*grain=*/1);
+
+  std::vector<FrequencySweep> out(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    FrequencySweep& fs = out[t];
+    fs.default_freq_mhz = default_freq;
+    fs.baseline = grid[t * stride];
+    fs.points.reserve(freqs.size());
+    for (std::size_t k = 0; k < freqs.size(); ++k) {
+      fs.points.push_back({freqs[k], grid[t * stride + k + 1]});
+    }
+  }
+  return out;
+}
+
+FrequencySweep sweep_workload(synergy::Device& device,
+                              const Workload& workload,
+                              std::span<const double> freqs,
+                              const SweepOptions& options) {
+  const SweepTask task{[&](synergy::Queue& q) { workload.submit(q); }};
+  std::vector<FrequencySweep> result =
+      sweep_grid(device, std::span(&task, 1), freqs, options);
+  return std::move(result.front());
+}
+
+std::vector<FrequencySweep> sweep_workloads(
+    synergy::Device& device,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    std::span<const double> freqs, const SweepOptions& options) {
+  DSEM_ENSURE(!workloads.empty(), "sweep_workloads: no workloads");
+  std::vector<SweepTask> tasks;
+  tasks.reserve(workloads.size());
+  for (const auto& w : workloads) {
+    const Workload* workload = w.get();
+    DSEM_ENSURE(workload != nullptr, "sweep_workloads: null workload");
+    tasks.push_back({[workload](synergy::Queue& q) { workload->submit(q); }});
+  }
+  return sweep_grid(device, tasks, freqs, options);
+}
+
+} // namespace dsem::core

@@ -1,0 +1,76 @@
+// Deterministic parallel sweep engine.
+//
+// Every experiment in the paper walks the same grid: (workload/run) x
+// (default clock + each frequency) x repetitions. This engine runs that
+// grid on a ThreadPool with results that are bit-identical for ANY pool
+// size, including 1:
+//
+//  - Each grid point runs on its own replica of the simulated device,
+//    seeded as derive_seed(base_seed, flat_index). The noise stream a
+//    point observes therefore depends only on its grid coordinates, never
+//    on scheduling order or thread count.
+//  - Results are written into pre-sized disjoint slots, so the output
+//    layout is fixed before any task runs.
+//  - The shared base device is never touched: its RNG does not advance,
+//    and concurrent points cannot race on it.
+//
+// Thread count comes from SweepOptions::pool (nullptr = ThreadPool::
+// global(), sized by the DSEM_THREADS environment variable; DSEM_THREADS=1
+// reproduces serial execution exactly).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/measurement.hpp"
+
+namespace dsem::core {
+
+struct SweepOptions {
+  int repetitions = kDefaultRepetitions;
+  /// Pool to run grid points on; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// Shared memoization of noise-free launch costs (nullptr disables).
+  /// Purely an arithmetic cache: results are bit-identical either way.
+  sim::ProfileCache* cache = nullptr;
+};
+
+/// One cell of the task axis: a callable that submits one full
+/// application run into the queue it is given.
+struct SweepTask {
+  RunFn run;
+};
+
+/// Result for one task: its default-clock baseline plus one point per
+/// swept frequency (same order as the `freqs` argument).
+struct FrequencySweep {
+  Measurement baseline;
+  double default_freq_mhz = 0.0;
+  std::vector<SweepPoint> points;
+};
+
+/// Measures every task at the default clock and at every frequency in
+/// `freqs` (all supported frequencies when empty). The (task x frequency)
+/// grid is flattened and executed in parallel; see the file comment for
+/// the determinism contract.
+std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
+                                       std::span<const SweepTask> tasks,
+                                       std::span<const double> freqs,
+                                       const SweepOptions& options = {});
+
+/// sweep_grid for a single workload.
+FrequencySweep sweep_workload(synergy::Device& device,
+                              const Workload& workload,
+                              std::span<const double> freqs = {},
+                              const SweepOptions& options = {});
+
+/// sweep_grid over a workload list (one FrequencySweep per workload, in
+/// input order).
+std::vector<FrequencySweep> sweep_workloads(
+    synergy::Device& device,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    std::span<const double> freqs = {}, const SweepOptions& options = {});
+
+} // namespace dsem::core

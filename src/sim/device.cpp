@@ -3,11 +3,12 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sim/profile_cache.hpp"
 
 namespace dsem::sim {
 
 Device::Device(DeviceSpec spec, NoiseConfig noise, std::uint64_t seed)
-    : spec_(std::move(spec)), noise_(noise), rng_(seed) {
+    : spec_(std::move(spec)), noise_(noise), seed_(seed), rng_(seed) {
   validate(spec_);
   DSEM_ENSURE(noise_.time_sigma >= 0.0 && noise_.energy_sigma >= 0.0,
               "noise sigmas must be non-negative");
@@ -49,15 +50,20 @@ double Device::default_frequency() const {
 }
 
 LaunchResult Device::launch(const KernelProfile& kernel,
-                            std::size_t work_items) {
+                            std::size_t work_items, ProfileCache* cache) {
   const double f = current_frequency();
-  const ExecutionBreakdown exec = execute(spec_, kernel, work_items, f);
-  const EnergyBreakdown e = energy(spec_, exec, f);
+  ProfileCache::Cost cost;
+  if (cache != nullptr) {
+    cost = cache->lookup(spec_, kernel, work_items, f);
+  } else {
+    const ExecutionBreakdown exec = execute(spec_, kernel, work_items, f);
+    cost = {exec.total_s, energy(spec_, exec, f).total_j};
+  }
 
   LaunchResult out;
   out.frequency_mhz = f;
-  out.time_s = apply_noise(exec.total_s, noise_.time_sigma);
-  out.energy_j = apply_noise(e.total_j, noise_.energy_sigma);
+  out.time_s = apply_noise(cost.time_s, noise_.time_sigma);
+  out.energy_j = apply_noise(cost.energy_j, noise_.energy_sigma);
   out.avg_power_w = out.time_s > 0.0 ? out.energy_j / out.time_s : 0.0;
 
   energy_j_ += out.energy_j;

@@ -20,6 +20,8 @@
 
 namespace dsem::sim {
 
+class ProfileCache;
+
 struct NoiseConfig {
   double time_sigma = 0.015;   ///< relative std-dev of time measurements
   double energy_sigma = 0.015; ///< relative std-dev of energy measurements
@@ -40,6 +42,16 @@ public:
                   std::uint64_t seed = 0x5eed0001);
 
   const DeviceSpec& spec() const noexcept { return spec_; }
+  NoiseConfig noise() const noexcept { return noise_; }
+
+  /// Seed the device was constructed (or last reseeded) with.
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Fresh device with the same spec and noise model but its own
+  /// measurement-noise stream: the building block of parallel sweeps,
+  /// where every grid point measures on its own deterministic replica
+  /// instead of racing on one device's RNG.
+  Device replica(std::uint64_t seed) const { return Device(spec_, noise_, seed); }
 
   // --- clocking -----------------------------------------------------------
 
@@ -66,8 +78,11 @@ public:
   // --- execution ----------------------------------------------------------
 
   /// Simulates one kernel launch, advances the counters, and returns the
-  /// (noisy) measured time and energy of this launch.
-  LaunchResult launch(const KernelProfile& kernel, std::size_t work_items);
+  /// (noisy) measured time and energy of this launch. With a cache, the
+  /// noise-free launch cost is memoized across launches (and devices
+  /// sharing the cache); results are bit-identical either way.
+  LaunchResult launch(const KernelProfile& kernel, std::size_t work_items,
+                      ProfileCache* cache = nullptr);
 
   /// Noise-free timing breakdown at the current clock (for tests/analysis).
   ExecutionBreakdown analyze(const KernelProfile& kernel,
@@ -81,13 +96,17 @@ public:
   void reset_counters() noexcept;
 
   /// Reseed the measurement-noise stream (e.g., per experiment repetition).
-  void reseed(std::uint64_t seed) noexcept { rng_.reseed(seed); }
+  void reseed(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    rng_.reseed(seed);
+  }
 
 private:
   double apply_noise(double value, double sigma) noexcept;
 
   DeviceSpec spec_;
   NoiseConfig noise_;
+  std::uint64_t seed_ = 0;
   Rng rng_;
   std::optional<double> pinned_mhz_; ///< nullopt = auto/governed
   double energy_j_ = 0.0;

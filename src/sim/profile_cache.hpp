@@ -1,0 +1,65 @@
+// Memoized kernel launch costs for frequency sweeps.
+//
+// A sweep evaluates the same (device, kernel, work_items) triple at the
+// same frequency over and over: every repetition of a run, every timestep
+// of a Cronos run and every ligand batch of a LiGen run re-derives an
+// identical noise-free (time, energy) pair through the execution and power
+// models. The cache computes each distinct point once and serves all
+// later launches from memory; only the per-launch measurement noise is
+// drawn fresh. Cached and uncached launches are bit-identical — the same
+// arithmetic runs either way, just not repeatedly.
+//
+// Thread-safe: one cache is shared by all replica devices of a parallel
+// sweep. Keys compare every per-item quantity of the profile exactly, so
+// two kernels that share a name but differ in content never collide.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/device_spec.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace dsem::sim {
+
+class ProfileCache {
+public:
+  /// Noise-free cost of one launch: execution-model total time and
+  /// power-model total energy.
+  struct Cost {
+    double time_s = 0.0;
+    double energy_j = 0.0;
+  };
+
+  /// Returns the memoized cost of launching (kernel, work_items) on `spec`
+  /// at `core_mhz`, computing it through the execution and power models on
+  /// the first request.
+  Cost lookup(const DeviceSpec& spec, const KernelProfile& kernel,
+              std::size_t work_items, double core_mhz);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+private:
+  struct Key {
+    std::string name; ///< device spec name + kernel name
+    std::array<double, 13> values; ///< profile fields, work_items, core_mhz
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Cost, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+} // namespace dsem::sim

@@ -49,8 +49,9 @@ std::uint64_t NvmlBackend::energy_counter() const {
 }
 
 sim::LaunchResult NvmlBackend::launch(const sim::KernelProfile& kernel,
-                                      std::size_t work_items) {
-  return device_->launch(kernel, work_items);
+                                      std::size_t work_items,
+                                      sim::ProfileCache* cache) {
+  return device_->launch(kernel, work_items, cache);
 }
 
 // --- ROCm SMI ----------------------------------------------------------------
@@ -84,8 +85,9 @@ std::uint64_t RocmSmiBackend::energy_counter() const {
 }
 
 sim::LaunchResult RocmSmiBackend::launch(const sim::KernelProfile& kernel,
-                                         std::size_t work_items) {
-  return device_->launch(kernel, work_items);
+                                         std::size_t work_items,
+                                         sim::ProfileCache* cache) {
+  return device_->launch(kernel, work_items, cache);
 }
 
 // --- Level Zero ---------------------------------------------------------------
@@ -118,8 +120,9 @@ std::uint64_t LevelZeroBackend::energy_counter() const {
 }
 
 sim::LaunchResult LevelZeroBackend::launch(const sim::KernelProfile& kernel,
-                                           std::size_t work_items) {
-  return device_->launch(kernel, work_items);
+                                           std::size_t work_items,
+                                           sim::ProfileCache* cache) {
+  return device_->launch(kernel, work_items, cache);
 }
 
 std::unique_ptr<Backend> make_backend(sim::Device& device) {

@@ -24,6 +24,10 @@ public:
   virtual std::string api_name() const = 0;
   virtual const sim::DeviceSpec& spec() const = 0;
 
+  /// The simulated device this backend manages (every backend wraps one).
+  /// Lets sweep engines derive deterministic replica devices.
+  virtual sim::Device& simulated() const = 0;
+
   virtual std::vector<double> supported_core_frequencies() const = 0;
   virtual void set_core_frequency(double mhz) = 0;
   /// Return to the vendor's default clocking behaviour.
@@ -36,8 +40,10 @@ public:
   virtual std::uint64_t energy_counter() const = 0;
   virtual double energy_unit_joules() const = 0;
 
+  /// `cache` (optional) memoizes noise-free launch costs across launches.
   virtual sim::LaunchResult launch(const sim::KernelProfile& kernel,
-                                   std::size_t work_items) = 0;
+                                   std::size_t work_items,
+                                   sim::ProfileCache* cache) = 0;
 };
 
 /// NVML-flavoured backend: fixed default application clock, energy counter
@@ -55,8 +61,10 @@ public:
   double current_core_frequency() const override;
   std::uint64_t energy_counter() const override;
   double energy_unit_joules() const override { return 1e-3; }
+  sim::Device& simulated() const override { return *device_; }
   sim::LaunchResult launch(const sim::KernelProfile& kernel,
-                           std::size_t work_items) override;
+                           std::size_t work_items,
+                           sim::ProfileCache* cache) override;
 
 private:
   sim::Device* device_; // non-owning; device outlives the backend
@@ -77,8 +85,10 @@ public:
   double current_core_frequency() const override;
   std::uint64_t energy_counter() const override;
   double energy_unit_joules() const override { return 15.3e-6; }
+  sim::Device& simulated() const override { return *device_; }
   sim::LaunchResult launch(const sim::KernelProfile& kernel,
-                           std::size_t work_items) override;
+                           std::size_t work_items,
+                           sim::ProfileCache* cache) override;
 
 private:
   sim::Device* device_; // non-owning; device outlives the backend
@@ -100,8 +110,10 @@ public:
   double current_core_frequency() const override;
   std::uint64_t energy_counter() const override;
   double energy_unit_joules() const override { return 1e-6; }
+  sim::Device& simulated() const override { return *device_; }
   sim::LaunchResult launch(const sim::KernelProfile& kernel,
-                           std::size_t work_items) override;
+                           std::size_t work_items,
+                           sim::ProfileCache* cache) override;
 
 private:
   sim::Device* device_; // non-owning; device outlives the backend

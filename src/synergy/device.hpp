@@ -49,6 +49,10 @@ public:
 
   Backend& backend() { return *backend_; }
 
+  /// The simulated device behind the vendor backend — the seed source for
+  /// deterministic replica devices in parallel sweeps.
+  sim::Device& simulated() const { return backend_->simulated(); }
+
 private:
   std::unique_ptr<Backend> backend_;
 };

@@ -58,6 +58,13 @@ public:
   void clear_kernel_frequency_plan();
   bool has_kernel_frequency_plan() const noexcept { return !plan_.empty(); }
 
+  /// Memoize noise-free launch costs in `cache` (nullptr disables). The
+  /// sweep engine shares one cache across all grid points so repeated
+  /// (device, kernel, input) profiles are computed once per frequency.
+  void set_profile_cache(sim::ProfileCache* cache) noexcept {
+    profile_cache_ = cache;
+  }
+
   /// Simulate (and in Validate mode execute) one kernel launch. Returns a
   /// copy of the record (the internal log may reallocate on later submits).
   LaunchRecord submit(const KernelLaunch& launch);
@@ -89,6 +96,8 @@ private:
   double total_energy_j_ = 0.0;
   std::map<std::string, double> plan_; ///< per-kernel target frequencies
   double plan_fallback_mhz_ = 0.0;
+  sim::ProfileCache* profile_cache_ = nullptr; // non-owning
+
   double last_freq_mhz_ = 0.0; ///< switch-penalty tracking (queue-local)
 };
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 namespace dsem {
 namespace {
 
@@ -152,6 +154,80 @@ TEST(ParallelReduce, EmptyRangeReturnsInit) {
       pool, 3, 3, 42.0, [](std::size_t) { return 1.0; },
       [](double a, double b) { return a + b; });
   EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW(pool.submit([] {}), contract_error);
+}
+
+TEST(ThreadPool, StopDrainsQueueAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.stop();
+  EXPECT_EQ(counter.load(), 50);
+  pool.stop(); // second stop must be a no-op, not a crash
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TryRunOneStealsQueuedTask) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::atomic<bool> started{false};
+  auto blocked = pool.submit([&] {
+    started = true;
+    gate.get_future().wait();
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<bool> ran{false};
+  auto queued = pool.submit([&ran] { ran = true; });
+  // The only worker is parked on the gate, so the queued task can only run
+  // if the calling thread steals it.
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_TRUE(ran.load());
+  EXPECT_FALSE(pool.try_run_one()); // queue is empty again
+  gate.set_value();
+  blocked.get();
+  queued.get();
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A single-worker pool forces the blocked outer chunks to execute the
+  // inner chunks themselves (help-while-waiting); without work stealing
+  // this test would hang.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  parallel_for(
+      pool, 0, 4,
+      [&](std::size_t) {
+        parallel_for(pool, 0, 4, [&](std::size_t) { ++count; }, 1);
+      },
+      1);
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelReduce, SingleElementRange) {
+  ThreadPool pool(4);
+  const double got = parallel_reduce(
+      pool, 9, 10, 0.0,
+      [](std::size_t i) { return static_cast<double>(i); },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 9.0);
+}
+
+TEST(ParallelReduce, MoreThreadsThanElements) {
+  ThreadPool pool(8);
+  const double got = parallel_reduce(
+      pool, 0, 3, 0.0,
+      [](std::size_t i) { return static_cast<double>(i + 1); },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 6.0);
 }
 
 TEST(GlobalPool, IsSingleton) {

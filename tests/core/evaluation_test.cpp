@@ -7,30 +7,50 @@
 namespace dsem::core {
 namespace {
 
-class EvaluationTest : public ::testing::Test {
-protected:
-  EvaluationTest() : sim_dev_(sim::v100(), sim::NoiseConfig{0.01, 0.01}, 5),
-                     device_(sim_dev_) {
+// Building the dataset and training the GP model dominate this suite's
+// wall-clock. The tests only read them, and the sweep engine never touches
+// the shared device's RNG, so one lazily-built fixture serves every test.
+struct EvalState {
+  sim::Device sim_dev{sim::v100(), sim::NoiseConfig{0.01, 0.01}, 5};
+  synergy::Device device{sim_dev};
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::vector<double> freqs;
+  Dataset dataset;
+  GeneralPurposeModel gp;
+
+  EvalState() {
     // Canonical grids plus intermediates (interpolating LOOCV folds).
     for (int n : {10, 20, 30, 40, 60, 80, 120, 160}) {
-      workloads_.push_back(std::make_unique<CronosWorkload>(
+      workloads.push_back(std::make_unique<CronosWorkload>(
           cronos::GridDims{n, std::max(4, n * 2 / 5), std::max(4, n * 2 / 5)},
           2));
     }
-    const auto all = device_.supported_frequencies();
+    const auto all = device.supported_frequencies();
     for (std::size_t i = 0; i < all.size(); i += 8) {
-      freqs_.push_back(all[i]);
+      freqs.push_back(all[i]);
     }
-    dataset_ = build_dataset(device_, workloads_, 2, freqs_);
-    gp_.train(device_, microbench::make_suite(), 1, 16);
+    dataset = build_dataset(device, workloads, 2, freqs);
+    gp.train(device, microbench::make_suite(), 1, 16);
   }
 
-  sim::Device sim_dev_;
-  synergy::Device device_;
-  std::vector<std::unique_ptr<Workload>> workloads_;
-  std::vector<double> freqs_;
-  Dataset dataset_;
-  GeneralPurposeModel gp_;
+  static const EvalState& instance() {
+    static const EvalState state;
+    return state;
+  }
+};
+
+class EvaluationTest : public ::testing::Test {
+protected:
+  EvaluationTest()
+      : workloads_(EvalState::instance().workloads),
+        freqs_(EvalState::instance().freqs),
+        dataset_(EvalState::instance().dataset),
+        gp_(EvalState::instance().gp) {}
+
+  const std::vector<std::unique_ptr<Workload>>& workloads_;
+  const std::vector<double>& freqs_;
+  const Dataset& dataset_;
+  const GeneralPurposeModel& gp_;
 };
 
 TEST_F(EvaluationTest, TruthCurvesNormalizeAtDefault) {

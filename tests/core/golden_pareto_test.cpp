@@ -1,0 +1,81 @@
+// Golden-file regression tests pinning the Pareto-optimal frequency sets
+// of the noise-free V100 characterization for one LiGen and one Cronos
+// workload. These sets are the end product the paper's models are judged
+// on (Fig. 14); any change to the execution model, power model, sweep
+// engine, or Pareto logic that moves them must be a conscious decision —
+// update tests/data/*.txt with the printed values if it is.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hpp"
+
+namespace dsem::core {
+namespace {
+
+std::vector<double> load_golden(const std::string& filename) {
+  const std::string path = std::string(DSEM_TEST_DATA_DIR) + "/" + filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::vector<double> out;
+  double value = 0.0;
+  while (in >> value) {
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<double> pareto_freqs(const Characterization& c) {
+  std::vector<double> out;
+  for (const auto& p : c.points) {
+    if (p.pareto) {
+      out.push_back(p.freq_mhz);
+    }
+  }
+  return out;
+}
+
+std::string render(const std::vector<double>& freqs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (double f : freqs) {
+    os << f << "\n";
+  }
+  return os.str();
+}
+
+void expect_matches_golden(const std::string& filename,
+                           const std::vector<double>& actual) {
+  const std::vector<double> golden = load_golden(filename);
+  EXPECT_EQ(golden.size(), actual.size())
+      << "Pareto set size changed; actual set:\n" << render(actual);
+  for (std::size_t i = 0; i < std::min(golden.size(), actual.size()); ++i) {
+    EXPECT_NEAR(actual[i], golden[i], 1e-6)
+        << "index " << i << "; full actual set:\n" << render(actual);
+  }
+}
+
+Characterization characterize_noise_free(const Workload& workload) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+  synergy::Device device(sim_dev);
+  // Noise-free: one repetition is exact; the full 196-frequency schedule.
+  return characterize(device, workload, /*repetitions=*/1);
+}
+
+TEST(GoldenPareto, V100LigenScreeningFrequencySet) {
+  const LigenWorkload workload(10000, 89, 20);
+  expect_matches_golden("golden_pareto_v100_ligen_10000x89x20.txt",
+                        pareto_freqs(characterize_noise_free(workload)));
+}
+
+TEST(GoldenPareto, V100CronosMhdFrequencySet) {
+  const CronosWorkload workload(cronos::GridDims{160, 64, 64}, 2);
+  expect_matches_golden("golden_pareto_v100_cronos_160x64x64.txt",
+                        pareto_freqs(characterize_noise_free(workload)));
+}
+
+} // namespace
+} // namespace dsem::core

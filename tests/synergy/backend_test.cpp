@@ -43,7 +43,7 @@ TEST(NvmlBackend, ExposesFullSchedule) {
 TEST(NvmlBackend, EnergyCounterInMillijoules) {
   sim::Device nv(sim::v100(), sim::NoiseConfig::none());
   NvmlBackend backend(nv);
-  backend.launch(work_kernel(), 100000);
+  backend.launch(work_kernel(), 100000, nullptr);
   const double joules = nv.energy_joules();
   EXPECT_NEAR(static_cast<double>(backend.energy_counter()), joules * 1000.0,
               1.0);
@@ -53,7 +53,7 @@ TEST(NvmlBackend, EnergyCounterInMillijoules) {
 TEST(RocmSmiBackend, EnergyCounterIn15MicrojouleUnits) {
   sim::Device amd(sim::mi100(), sim::NoiseConfig::none());
   RocmSmiBackend backend(amd);
-  backend.launch(work_kernel(), 100000);
+  backend.launch(work_kernel(), 100000, nullptr);
   const double joules = amd.energy_joules();
   EXPECT_NEAR(static_cast<double>(backend.energy_counter()) * 15.3e-6, joules,
               joules * 1e-3 + 15.3e-6);
