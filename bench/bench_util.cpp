@@ -12,6 +12,14 @@ Rig::Rig()
 void print_characterization(std::ostream& os, const std::string& title,
                             const core::Characterization& c) {
   print_banner(os, title);
+  if (!c.baseline_ok || c.points.empty()) {
+    os << "characterization unavailable: "
+       << (c.baseline_ok ? "every frequency point"
+                         : "the default-clock baseline")
+       << " exhausted its retries (" << fmt(c.failed_freqs.size())
+       << " frequencies lost)\n";
+    return;
+  }
   os << "default: " << fmt(c.default_freq_mhz, 0) << " MHz, "
      << fmt(c.default_time_s, 4) << " s, " << fmt(c.default_energy_j, 2)
      << " J\n\n";
@@ -24,6 +32,10 @@ void print_characterization(std::ostream& os, const std::string& title,
                    p.pareto ? "*" : ""});
   }
   table.print_csv(os);
+  if (!c.failed_freqs.empty()) {
+    os << "\n(" << fmt(c.failed_freqs.size())
+       << " frequencies lost to exhausted retries)\n";
+  }
 
   const auto& top = c.points.back();
   os << "\nsummary: max-clock speedup " << fmt_percent(top.speedup - 1.0)

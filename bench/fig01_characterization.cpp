@@ -1,18 +1,51 @@
 // Figure 1: LiGen and Cronos multi-objective characterization on the
 // NVIDIA V100 — speedup vs normalized energy across all 196 core
 // frequencies, with the Pareto-optimal configurations flagged.
+//
+// Accepts the shared fault-injection knobs (--fault-rate, --help for the
+// rest): with a nonzero rate the sweep retries transient device faults,
+// drops the grid points that exhaust their attempts, and appends the
+// recovery accounting to the output.
 #include "bench_util.hpp"
 
-int main() {
-  using namespace dsem;
-  bench::Rig rig;
+#include <chrono>
 
+#include "common/cli.hpp"
+#include "core/sweep_report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsem;
+  CliParser cli("fig01_characterization",
+                "Fig. 1 — LiGen/Cronos characterization on the V100");
+  core::add_fault_cli_options(cli);
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  bench::Rig rig;
+  rig.v100_sim.set_fault_config(core::fault_config_from_cli(cli));
+
+  sim::ProfileCache cache;
+  core::SweepReport report;
+  core::SweepOptions options;
+  options.cache = &cache;
+  options.retry = core::retry_policy_from_cli(cli);
+  options.report = &report;
+
+  const auto start = std::chrono::steady_clock::now();
   const core::LigenWorkload ligen(4096, 89, 8);
   bench::print_characterization(std::cout, "Fig. 1a — LiGen on NVIDIA V100",
-                         core::characterize(rig.v100, ligen));
+                         core::characterize(rig.v100, ligen, options));
 
   const core::CronosWorkload cronos({80, 32, 32}, 10);
   bench::print_characterization(std::cout, "Fig. 1b — Cronos on NVIDIA V100",
-                         core::characterize(rig.v100, cronos));
+                         core::characterize(rig.v100, cronos, options));
+  report.add_phase(
+      "characterization",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+
+  std::cout << "\n";
+  core::print_sweep_report(std::cout, report);
   return 0;
 }

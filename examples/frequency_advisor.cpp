@@ -2,12 +2,19 @@
 // application, an input, and an energy/performance policy, train the
 // domain-specific model on a quick input sweep and recommend a core
 // frequency (what SYnergy's per-kernel frequency selection would consume).
+//
+// Doubles as the fault-injection demo: --fault-rate (and the per-kind
+// flags, see --help) make the simulated device fail transiently; the
+// pipeline retries, records exhausted grid points as failed, and prints
+// the recovery accounting at the end.
+#include <chrono>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
+#include "core/sweep_report.hpp"
 
 namespace {
 
@@ -52,6 +59,12 @@ std::unique_ptr<core::Workload> parse_target(const std::string& app,
                                                /*fragments=*/b);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -65,16 +78,20 @@ int main(int argc, char** argv) {
   cli.add_option("max-slowdown", "acceptable performance loss, fraction",
                  "0.03");
   cli.add_option("device", "v100 | mi100", "v100");
+  core::add_fault_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return 0;
   }
   const std::string app = cli.option("app");
   DSEM_ENSURE(app == "cronos" || app == "ligen", "unknown app: " + app);
   const double max_slowdown = cli.option_double("max-slowdown");
+  const sim::FaultConfig faults = core::fault_config_from_cli(cli);
+  const core::RetryPolicy retry = core::retry_policy_from_cli(cli);
 
   sim::Device sim_dev(cli.option("device") == "mi100" ? sim::mi100()
                                                       : sim::v100(),
                       sim::NoiseConfig{}, 0xAD51);
+  sim_dev.set_fault_config(faults);
   synergy::Device device(sim_dev);
 
   std::cout << "profiling " << app << " training sweep on " << device.name()
@@ -85,11 +102,22 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < all.size(); i += 4) {
     train_freqs.push_back(all[i]);
   }
+  core::SweepReport report;
+  sim::ProfileCache cache;
+  core::SweepOptions sweep_options;
+  sweep_options.repetitions = 5;
+  sweep_options.cache = &cache;
+  sweep_options.retry = retry;
+  sweep_options.report = &report;
+  const auto sweep_start = std::chrono::steady_clock::now();
   const core::Dataset dataset =
-      core::build_dataset(device, workloads, 5, train_freqs);
+      core::build_dataset(device, workloads, sweep_options, train_freqs);
+  report.add_phase("training sweep", seconds_since(sweep_start));
 
+  const auto train_start = std::chrono::steady_clock::now();
   core::DomainSpecificModel model;
   model.train(dataset);
+  report.add_phase("model training", seconds_since(train_start));
 
   const auto target = parse_target(app, cli.option("input"));
   const core::Prediction pred = model.predict(
@@ -116,13 +144,17 @@ int main(int argc, char** argv) {
                    1.0 / std::max(pred.speedup[pick], 1e-9) - 1.0)
             << "\n";
 
-  const core::Measurement def = core::measure_default(device, *target, 5);
-  const core::Measurement at =
-      core::measure(device, *target, pred.freqs_mhz[pick], 5);
+  const auto verify_start = std::chrono::steady_clock::now();
+  const core::Measurement def =
+      core::measure_default(device, *target, 5, &cache, retry, &report.retry);
+  const core::Measurement at = core::measure(
+      device, *target, pred.freqs_mhz[pick], 5, &cache, retry, &report.retry);
+  report.add_phase("verification", seconds_since(verify_start));
   std::cout << "verification against measurement:\n  measured energy  "
             << fmt_percent(at.energy_j / def.energy_j - 1.0)
             << "\n  measured runtime " << fmt_percent(
                    at.time_s / def.time_s - 1.0)
-            << "\n";
+            << "\n\n";
+  core::print_sweep_report(std::cout, report);
   return 0;
 }

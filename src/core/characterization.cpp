@@ -8,6 +8,9 @@
 namespace dsem::core {
 
 std::vector<std::size_t> Characterization::pareto_indices() const {
+  if (points.empty()) {
+    return {};
+  }
   std::vector<double> s;
   std::vector<double> e;
   s.reserve(points.size());
@@ -53,15 +56,29 @@ Characterization characterize(synergy::Device& device,
                               std::span<const double> freqs) {
   const FrequencySweep sweep = sweep_workload(device, workload, freqs, options);
   const Measurement& base = sweep.baseline;
-  DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
-              "degenerate baseline measurement");
 
   Characterization out;
   out.default_freq_mhz = sweep.default_freq_mhz;
+  if (!sweep.baseline_ok) {
+    // No baseline, nothing to normalize against: every swept frequency is
+    // lost for this workload, but the sweep itself carries on.
+    out.baseline_ok = false;
+    out.failed_freqs.reserve(sweep.points.size());
+    for (const SweepPoint& sp : sweep.points) {
+      out.failed_freqs.push_back(sp.freq_mhz);
+    }
+    return out;
+  }
+  DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
+              "degenerate baseline measurement");
   out.default_time_s = base.time_s;
   out.default_energy_j = base.energy_j;
   out.points.reserve(sweep.points.size());
   for (const SweepPoint& sp : sweep.points) {
+    if (!sp.ok) {
+      out.failed_freqs.push_back(sp.freq_mhz);
+      continue;
+    }
     CharacterizationPoint p;
     p.freq_mhz = sp.freq_mhz;
     p.time_s = sp.m.time_s;

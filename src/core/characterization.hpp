@@ -23,6 +23,12 @@ struct Characterization {
   double default_freq_mhz = 0.0;
   double default_time_s = 0.0;
   double default_energy_j = 0.0;
+  /// False when the default-clock baseline exhausted its retries; the
+  /// characterization then has no points (nothing to normalize against).
+  bool baseline_ok = true;
+  /// Frequencies whose grid point exhausted its retries (absent from
+  /// `points`). Every swept frequency when the baseline failed.
+  std::vector<double> failed_freqs;
 
   std::vector<std::size_t> pareto_indices() const;
   const CharacterizationPoint& at_freq(double freq_mhz) const;

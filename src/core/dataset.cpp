@@ -14,6 +14,14 @@ std::vector<std::size_t> Dataset::rows_of_group(int group) const {
   return out;
 }
 
+bool Dataset::group_ok(int group) const {
+  DSEM_ENSURE(group >= 0 && static_cast<std::size_t>(group) < num_groups(),
+              "group id out of range");
+  const Measurement& base = group_default[static_cast<std::size_t>(group)];
+  return base.time_s > 0.0 && base.energy_j > 0.0 &&
+         !rows_of_group(group).empty();
+}
+
 int Dataset::group_of(const std::string& name) const {
   for (std::size_t g = 0; g < group_names.size(); ++g) {
     if (group_names[g] == name) {
@@ -37,10 +45,24 @@ Dataset build_dataset(synergy::Device& device,
 
   const std::size_t feature_width = workloads.front()->domain_features().size();
   Dataset ds;
-  ds.x = ml::Matrix(workloads.size() * freqs.size(), feature_width + 1);
 
   const std::vector<FrequencySweep> sweeps =
       sweep_workloads(device, workloads, freqs, options);
+
+  // Failed grid points contribute no rows; size the matrix to what
+  // actually survived. A group whose baseline failed keeps its id slot
+  // (ids always equal workload indices) but gets the {0, 0} placeholder
+  // baseline and zero rows — see Dataset::group_ok.
+  std::size_t usable_rows = 0;
+  for (const FrequencySweep& sweep : sweeps) {
+    if (!sweep.baseline_ok) {
+      continue;
+    }
+    for (const SweepPoint& sp : sweep.points) {
+      usable_rows += sp.ok ? 1 : 0;
+    }
+  }
+  ds.x = ml::Matrix(usable_rows, feature_width + 1);
 
   std::size_t row = 0;
   for (std::size_t w = 0; w < workloads.size(); ++w) {
@@ -52,9 +74,16 @@ Dataset build_dataset(synergy::Device& device,
 
     ds.group_names.push_back(workload.name());
     ds.default_freq_mhz.push_back(sweep.default_freq_mhz);
-    ds.group_default.push_back(sweep.baseline);
+    ds.group_default.push_back(sweep.baseline_ok ? sweep.baseline
+                                                 : Measurement{});
+    if (!sweep.baseline_ok) {
+      continue;
+    }
 
     for (const SweepPoint& sp : sweep.points) {
+      if (!sp.ok) {
+        continue;
+      }
       auto dst = ds.x.row(row);
       std::copy(features.begin(), features.end(), dst.begin());
       dst[feature_width] = sp.freq_mhz;
@@ -64,6 +93,7 @@ Dataset build_dataset(synergy::Device& device,
       ++row;
     }
   }
+  DSEM_ENSURE(row == usable_rows, "dataset row accounting mismatch");
   return ds;
 }
 

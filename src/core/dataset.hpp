@@ -33,6 +33,13 @@ struct Dataset {
 
   /// Group id by workload name; throws if absent.
   int group_of(const std::string& name) const;
+
+  /// False when the group's sweep degraded past usability: its baseline
+  /// exhausted retries (group_default is the {0, 0} placeholder) or every
+  /// frequency point failed. Such groups keep their id slot — group ids
+  /// always equal workload indices — but contribute no training rows and
+  /// must be skipped by evaluation.
+  bool group_ok(int group) const;
 };
 
 /// Measures every workload at every frequency in `freqs` (all supported

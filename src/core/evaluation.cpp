@@ -10,6 +10,8 @@
 namespace dsem::core {
 
 double AccuracyReport::worst_speedup_gain() const {
+  DSEM_ENSURE(!rows.empty(),
+              "worst_speedup_gain over an empty accuracy report");
   double worst = std::numeric_limits<double>::infinity();
   for (const auto& r : rows) {
     worst = std::min(worst, r.gp_speedup_mape / std::max(r.ds_speedup_mape, 1e-12));
@@ -18,6 +20,8 @@ double AccuracyReport::worst_speedup_gain() const {
 }
 
 double AccuracyReport::worst_energy_gain() const {
+  DSEM_ENSURE(!rows.empty(),
+              "worst_energy_gain over an empty accuracy report");
   double worst = std::numeric_limits<double>::infinity();
   for (const auto& r : rows) {
     worst = std::min(worst, r.gp_energy_mape / std::max(r.ds_energy_mape, 1e-12));
@@ -74,9 +78,19 @@ AccuracyReport evaluate_accuracy(
   DSEM_ENSURE(workloads.size() == dataset.num_groups(),
               "workload list does not match dataset groups");
 
+  // Default to every group that survived the sweep: groups whose baseline
+  // or every frequency point failed (Dataset::group_ok == false) have no
+  // truth curves and cannot be folds. Explicitly requested inputs are
+  // still validated below — asking for a failed group is a caller error.
   std::vector<std::string> all_names;
   if (report.empty()) {
-    all_names = dataset.group_names;
+    for (std::size_t g = 0; g < dataset.num_groups(); ++g) {
+      if (dataset.group_ok(static_cast<int>(g))) {
+        all_names.push_back(dataset.group_names[g]);
+      }
+    }
+    DSEM_ENSURE(!all_names.empty(),
+                "evaluate_accuracy: no usable dataset groups");
     report = all_names;
   }
 
@@ -125,6 +139,9 @@ ParetoEvaluation evaluate_pareto(
   DSEM_ENSURE(workloads.size() == dataset.num_groups(),
               "workload list does not match dataset groups");
   const int g = dataset.group_of(target_input);
+  DSEM_ENSURE(dataset.group_ok(g),
+              "evaluate_pareto: target group unusable (failed sweep): " +
+                  target_input);
   const auto ug = static_cast<std::size_t>(g);
   const Workload& workload = *workloads[ug];
 

@@ -28,8 +28,19 @@ void GeneralPurposeModel::train(
     synergy::Device& device,
     std::span<const microbench::MicroBenchmark> suite, int repetitions,
     std::size_t freq_stride) {
+  sim::ProfileCache cache;
+  SweepOptions options;
+  options.repetitions = repetitions;
+  options.cache = &cache;
+  train(device, suite, options, freq_stride);
+}
+
+void GeneralPurposeModel::train(
+    synergy::Device& device,
+    std::span<const microbench::MicroBenchmark> suite,
+    const SweepOptions& options, std::size_t freq_stride) {
   DSEM_ENSURE(!suite.empty(), "training on an empty micro-benchmark suite");
-  DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
+  DSEM_ENSURE(options.repetitions >= 1, "repetitions must be >= 1");
   DSEM_ENSURE(freq_stride >= 1, "freq_stride must be >= 1");
 
   const std::vector<double> all_freqs = device.supported_frequencies();
@@ -47,22 +58,35 @@ void GeneralPurposeModel::train(
       queue.submit({mb.profile, mb.work_items, {}});
     }});
   }
-  sim::ProfileCache cache;
-  SweepOptions options;
-  options.repetitions = repetitions;
-  options.cache = &cache;
   const std::vector<FrequencySweep> sweeps =
       sweep_grid(device, tasks, freqs, options);
 
-  ml::Matrix x(suite.size() * freqs.size(), sim::kNumStaticFeatures + 1);
+  // Failed grid points are dropped from the training set; a kernel with a
+  // failed baseline has nothing to normalize against and drops entirely.
+  std::size_t usable_rows = 0;
+  for (const FrequencySweep& sweep : sweeps) {
+    if (!sweep.baseline_ok) {
+      continue;
+    }
+    for (const SweepPoint& sp : sweep.points) {
+      usable_rows += sp.ok ? 1 : 0;
+    }
+  }
+  DSEM_ENSURE(usable_rows > 0,
+              "no micro-benchmark measurements survived the sweep");
+
+  ml::Matrix x(usable_rows, sim::kNumStaticFeatures + 1);
   std::vector<double> y_speedup;
   std::vector<double> y_energy;
-  y_speedup.reserve(suite.size() * freqs.size());
-  y_energy.reserve(suite.size() * freqs.size());
+  y_speedup.reserve(usable_rows);
+  y_energy.reserve(usable_rows);
 
   std::size_t row = 0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const FrequencySweep& sweep = sweeps[i];
+    if (!sweep.baseline_ok) {
+      continue;
+    }
     const Measurement& base = sweep.baseline;
     DSEM_ENSURE(base.time_s > 0.0 && base.energy_j > 0.0,
                 "degenerate baseline");
@@ -70,6 +94,9 @@ void GeneralPurposeModel::train(
         static_feature_vector(suite[i].profile);
 
     for (const SweepPoint& sp : sweep.points) {
+      if (!sp.ok) {
+        continue;
+      }
       auto dst = x.row(row);
       std::copy(features.begin(), features.end(), dst.begin());
       dst[sim::kNumStaticFeatures] = sp.freq_mhz;

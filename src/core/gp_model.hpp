@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/ds_model.hpp" // for Prediction
+#include "core/sweep.hpp"
 #include "microbench/suite.hpp"
 #include "ml/forest.hpp"
 #include "synergy/device.hpp"
@@ -31,6 +32,14 @@ public:
   void train(synergy::Device& device,
              std::span<const microbench::MicroBenchmark> suite,
              int repetitions = 3, std::size_t freq_stride = 4);
+
+  /// Same, with full sweep-engine control (retry policy, report sink,
+  /// shared cache/pool). Grid points that exhaust their retries are
+  /// dropped from the training set; a kernel whose baseline fails drops
+  /// entirely. Throws only if nothing survives.
+  void train(synergy::Device& device,
+             std::span<const microbench::MicroBenchmark> suite,
+             const SweepOptions& options, std::size_t freq_stride = 4);
 
   bool trained() const noexcept { return trained_; }
   std::size_t training_rows() const noexcept { return training_rows_; }

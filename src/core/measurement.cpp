@@ -1,21 +1,86 @@
 #include "core/measurement.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "common/error.hpp"
 #include "core/sweep.hpp"
+#include "sim/fault.hpp"
 
 namespace dsem::core {
 
+namespace {
+
+/// Records one failed attempt; throws MeasurementError when the policy is
+/// spent, otherwise accounts the simulated backoff before the retry.
+void absorb_fault(const sim::TransientFault& fault, int attempt,
+                  const RetryPolicy& policy, RetryStats* stats,
+                  const char* operation) {
+  if (stats != nullptr) {
+    ++stats->faults;
+  }
+  if (attempt >= policy.max_attempts) {
+    throw MeasurementError(std::string(operation) + " failed after " +
+                           std::to_string(attempt) + " attempts: " +
+                           fault.what());
+  }
+  if (stats != nullptr) {
+    ++stats->retries;
+    stats->simulated_backoff_s += policy.backoff_for(attempt);
+  }
+}
+
+} // namespace
+
+void set_frequency_with_retry(synergy::Device& device, double freq_mhz,
+                              const RetryPolicy& policy, RetryStats* stats) {
+  DSEM_ENSURE(policy.max_attempts >= 1, "max_attempts must be >= 1");
+  for (int attempt = 1;; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+    }
+    try {
+      device.set_frequency(freq_mhz);
+      return;
+    } catch (const sim::TransientFault& fault) {
+      absorb_fault(fault, attempt, policy, stats, "set_frequency");
+    }
+  }
+}
+
 Measurement measure_run(synergy::Device& device, const RunFn& run,
-                        int repetitions, sim::ProfileCache* cache) {
+                        int repetitions, sim::ProfileCache* cache,
+                        const RetryPolicy& retry, RetryStats* stats) {
   DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
+  DSEM_ENSURE(retry.max_attempts >= 1, "max_attempts must be >= 1");
   DSEM_ENSURE(static_cast<bool>(run), "measure_run requires a run function");
   Measurement acc;
   for (int r = 0; r < repetitions; ++r) {
-    synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
-    queue.set_profile_cache(cache);
-    run(queue);
-    acc.time_s += queue.total_time_s();
-    acc.energy_j += queue.total_energy_j();
+    for (int attempt = 1;; ++attempt) {
+      if (stats != nullptr) {
+        ++stats->attempts;
+      }
+      try {
+        synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+        queue.set_profile_cache(cache);
+        run(queue);
+        const double t = queue.total_time_s();
+        const double e = queue.total_energy_j();
+        // Defense in depth behind the queue's per-launch validation: a
+        // degenerate repetition total is a failed measurement, not data.
+        if (!(std::isfinite(t) && t > 0.0 && std::isfinite(e) && e > 0.0)) {
+          throw sim::TransientFault(
+              sim::FaultKind::kEnergyRead,
+              "degenerate repetition totals: time=" + std::to_string(t) +
+                  " s, energy=" + std::to_string(e) + " J");
+        }
+        acc.time_s += t;
+        acc.energy_j += e;
+        break;
+      } catch (const sim::TransientFault& fault) {
+        absorb_fault(fault, attempt, retry, stats, "measure_run repetition");
+      }
+    }
   }
   acc.time_s /= repetitions;
   acc.energy_j /= repetitions;
@@ -24,21 +89,23 @@ Measurement measure_run(synergy::Device& device, const RunFn& run,
 
 Measurement measure(synergy::Device& device, const Workload& workload,
                     double freq_mhz, int repetitions,
-                    sim::ProfileCache* cache) {
-  device.set_frequency(freq_mhz);
+                    sim::ProfileCache* cache, const RetryPolicy& retry,
+                    RetryStats* stats) {
+  set_frequency_with_retry(device, freq_mhz, retry, stats);
   const Measurement m = measure_run(
       device, [&](synergy::Queue& q) { workload.submit(q); }, repetitions,
-      cache);
+      cache, retry, stats);
   device.reset_frequency();
   return m;
 }
 
 Measurement measure_default(synergy::Device& device, const Workload& workload,
-                            int repetitions, sim::ProfileCache* cache) {
+                            int repetitions, sim::ProfileCache* cache,
+                            const RetryPolicy& retry, RetryStats* stats) {
   device.reset_frequency();
   return measure_run(
       device, [&](synergy::Queue& q) { workload.submit(q); }, repetitions,
-      cache);
+      cache, retry, stats);
 }
 
 std::vector<SweepPoint> sweep_frequencies(synergy::Device& device,

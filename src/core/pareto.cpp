@@ -66,6 +66,29 @@ ParetoComparison compare_pareto(std::span<const double> speedup,
   if (predicted.empty()) {
     return out;
   }
+  DSEM_ENSURE(!true_front.empty(),
+              "compare_pareto: empty true front with predicted points");
+
+  // Speedup and normalized energy live on different scales (speedup spans
+  // ~[0.3, 1.3] while normalized energy spans ~[0.5, 2+] on the paper's
+  // devices), so a raw Euclidean distance is dominated by whichever
+  // objective happens to have the wider unit. Normalize each objective by
+  // its range over the TRUE front so both contribute comparably; a
+  // degenerate (single-point or flat) range falls back to 1, i.e. raw
+  // differences in that objective.
+  double s_lo = std::numeric_limits<double>::infinity();
+  double s_hi = -std::numeric_limits<double>::infinity();
+  double e_lo = std::numeric_limits<double>::infinity();
+  double e_hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t t : true_front) {
+    DSEM_ENSURE(t < speedup.size(), "true-front index out of range");
+    s_lo = std::min(s_lo, speedup[t]);
+    s_hi = std::max(s_hi, speedup[t]);
+    e_lo = std::min(e_lo, energy[t]);
+    e_hi = std::max(e_hi, energy[t]);
+  }
+  const double s_range = s_hi - s_lo > 0.0 ? s_hi - s_lo : 1.0;
+  const double e_range = e_hi - e_lo > 0.0 ? e_hi - e_lo : 1.0;
 
   double distance_acc = 0.0;
   for (std::size_t p : predicted) {
@@ -77,8 +100,8 @@ ParetoComparison compare_pareto(std::span<const double> speedup,
     }
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t t : true_front) {
-      const double ds = speedup[p] - speedup[t];
-      const double de = energy[p] - energy[t];
+      const double ds = (speedup[p] - speedup[t]) / s_range;
+      const double de = (energy[p] - energy[t]) / e_range;
       best = std::min(best, std::sqrt(ds * ds + de * de));
     }
     distance_acc += best;

@@ -2,8 +2,22 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/sweep_report.hpp"
 
 namespace dsem::core {
+
+namespace {
+
+/// Per-grid-point outcome; assembled into FrequencySweep slots after the
+/// parallel region so report aggregation stays serial and ordered.
+struct PointResult {
+  Measurement m;
+  bool ok = true;
+  RetryStats stats;
+  std::string error;
+};
+
+} // namespace
 
 std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
                                        std::span<const SweepTask> tasks,
@@ -32,7 +46,12 @@ std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
   const std::size_t n = tasks.size() * stride;
   const double default_freq = device.default_frequency();
 
-  std::vector<Measurement> grid(n);
+  const std::uint64_t cache_hits_before =
+      options.cache != nullptr ? options.cache->hits() : 0;
+  const std::uint64_t cache_misses_before =
+      options.cache != nullptr ? options.cache->misses() : 0;
+
+  std::vector<PointResult> grid(n);
   ThreadPool& pool = options.pool != nullptr ? *options.pool
                                              : ThreadPool::global();
   parallel_for(
@@ -40,15 +59,23 @@ std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
       [&](std::size_t idx) {
         const std::size_t t = idx / stride;
         const std::size_t k = idx % stride;
+        PointResult& pr = grid[idx];
         sim::Device rep = base.replica(derive_seed(base_seed, idx));
         synergy::Device dev(rep);
-        if (k == 0) {
-          dev.reset_frequency();
-        } else {
-          dev.set_frequency(freqs[k - 1]);
+        try {
+          if (k == 0) {
+            dev.reset_frequency();
+          } else {
+            set_frequency_with_retry(dev, freqs[k - 1], options.retry,
+                                     &pr.stats);
+          }
+          pr.m = measure_run(dev, tasks[t].run, options.repetitions,
+                             options.cache, options.retry, &pr.stats);
+        } catch (const MeasurementError& error) {
+          pr.ok = false;
+          pr.m = {};
+          pr.error = error.what();
         }
-        grid[idx] = measure_run(dev, tasks[t].run, options.repetitions,
-                                options.cache);
       },
       /*grain=*/1);
 
@@ -56,10 +83,36 @@ std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     FrequencySweep& fs = out[t];
     fs.default_freq_mhz = default_freq;
-    fs.baseline = grid[t * stride];
+    const PointResult& base_pr = grid[t * stride];
+    fs.baseline = base_pr.m;
+    fs.baseline_ok = base_pr.ok;
+    fs.baseline_attempts = base_pr.stats.attempts;
+    fs.baseline_error = base_pr.error;
     fs.points.reserve(freqs.size());
     for (std::size_t k = 0; k < freqs.size(); ++k) {
-      fs.points.push_back({freqs[k], grid[t * stride + k + 1]});
+      const PointResult& pr = grid[t * stride + k + 1];
+      fs.points.push_back(
+          {freqs[k], pr.m, pr.ok, pr.stats.attempts, pr.error});
+    }
+  }
+
+  if (options.report != nullptr) {
+    SweepReport& report = *options.report;
+    report.grid_points += n;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const PointResult& pr = grid[idx];
+      report.retry.merge(pr.stats);
+      if (!pr.ok) {
+        ++report.failed_points;
+        const std::size_t k = idx % stride;
+        report.failures.push_back({idx / stride,
+                                   k == 0 ? default_freq : freqs[k - 1],
+                                   k == 0, pr.stats.attempts, pr.error});
+      }
+    }
+    if (options.cache != nullptr) {
+      report.cache_hits += options.cache->hits() - cache_hits_before;
+      report.cache_misses += options.cache->misses() - cache_misses_before;
     }
   }
   return out;

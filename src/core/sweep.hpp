@@ -28,6 +28,8 @@
 
 namespace dsem::core {
 
+struct SweepReport;
+
 struct SweepOptions {
   int repetitions = kDefaultRepetitions;
   /// Pool to run grid points on; nullptr = ThreadPool::global().
@@ -35,6 +37,14 @@ struct SweepOptions {
   /// Shared memoization of noise-free launch costs (nullptr disables).
   /// Purely an arithmetic cache: results are bit-identical either way.
   sim::ProfileCache* cache = nullptr;
+  /// Bounded-retry recovery for transient device faults. A grid point
+  /// that exhausts its attempts is recorded as failed (SweepPoint::ok ==
+  /// false), never aborts the sweep.
+  RetryPolicy retry;
+  /// Recovery accounting sink, accumulated across sweeps (nullptr
+  /// disables). See core/sweep_report.hpp for which fields are
+  /// deterministic.
+  SweepReport* report = nullptr;
 };
 
 /// One cell of the task axis: a callable that submits one full
@@ -44,10 +54,16 @@ struct SweepTask {
 };
 
 /// Result for one task: its default-clock baseline plus one point per
-/// swept frequency (same order as the `freqs` argument).
+/// swept frequency (same order as the `freqs` argument). Points that
+/// exhausted their retries carry ok == false with zeroed measurements;
+/// a failed baseline poisons the task's normalizations but leaves the
+/// swept points usable.
 struct FrequencySweep {
   Measurement baseline;
   double default_freq_mhz = 0.0;
+  bool baseline_ok = true;
+  std::uint64_t baseline_attempts = 0;
+  std::string baseline_error;
   std::vector<SweepPoint> points;
 };
 

@@ -1,0 +1,90 @@
+#include "core/sweep_report.hpp"
+
+#include <ostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+
+namespace dsem::core {
+
+double SweepReport::cache_hit_rate() const noexcept {
+  const std::uint64_t lookups = cache_hits + cache_misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(lookups);
+}
+
+void SweepReport::add_phase(std::string name, double seconds) {
+  phases.push_back({std::move(name), seconds});
+}
+
+void print_sweep_report(std::ostream& os, const SweepReport& report) {
+  os << "sweep report\n"
+     << "  grid points:       " << report.grid_points << " ("
+     << report.failed_points << " failed)\n"
+     << "  attempts:          " << report.retry.attempts << " ("
+     << report.retry.retries << " retries, " << report.retry.faults
+     << " faults)\n"
+     << "  simulated backoff: " << report.retry.simulated_backoff_s << " s\n"
+     << "  cache hit rate:    " << 100.0 * report.cache_hit_rate() << "% ("
+     << report.cache_hits << " hits / " << report.cache_misses
+     << " misses)\n";
+  for (const FailedPoint& f : report.failures) {
+    os << "  failed: task " << f.task << " @ "
+       << (f.baseline ? "default clock" : std::to_string(f.freq_mhz) + " MHz")
+       << " after " << f.attempts << " attempts: " << f.error << "\n";
+  }
+  for (const SweepReport::Phase& phase : report.phases) {
+    os << "  phase " << phase.name << ": " << phase.seconds << " s\n";
+  }
+}
+
+void add_fault_cli_options(CliParser& cli) {
+  cli.add_option("fault-rate", "uniform transient-fault rate (0 disables)",
+                 "0");
+  cli.add_option("fault-set-freq-rate",
+                 "set_frequency rejection rate (-1 = from --fault-rate)",
+                 "-1");
+  cli.add_option("fault-energy-drop-rate",
+                 "dropped energy-read rate (-1 = from --fault-rate)", "-1");
+  cli.add_option("fault-energy-garbage-rate",
+                 "garbage energy-read rate (-1 = from --fault-rate)", "-1");
+  cli.add_option("fault-launch-rate",
+                 "kernel-launch abort rate (-1 = from --fault-rate)", "-1");
+  cli.add_option("retry-attempts", "max attempts per faulting operation",
+                 "3");
+  cli.add_option("retry-backoff-s", "simulated backoff before first retry",
+                 "0.01");
+}
+
+sim::FaultConfig fault_config_from_cli(const CliParser& cli) {
+  const double master = cli.option_double("fault-rate");
+  DSEM_ENSURE(master >= 0.0 && master <= 1.0,
+              "--fault-rate must be a probability in [0, 1]");
+  sim::FaultConfig config = sim::FaultConfig::uniform(master);
+  const auto override_rate = [&](const char* name, double& rate) {
+    const double value = cli.option_double(name);
+    if (value >= 0.0) {
+      DSEM_ENSURE(value <= 1.0, std::string("--") + name +
+                                    " must be a probability in [0, 1]");
+      rate = value;
+    }
+  };
+  override_rate("fault-set-freq-rate", config.set_frequency_rate);
+  override_rate("fault-energy-drop-rate", config.energy_read_drop_rate);
+  override_rate("fault-energy-garbage-rate", config.energy_read_garbage_rate);
+  override_rate("fault-launch-rate", config.launch_rate);
+  return config;
+}
+
+RetryPolicy retry_policy_from_cli(const CliParser& cli) {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(cli.option_int("retry-attempts"));
+  policy.backoff_base_s = cli.option_double("retry-backoff-s");
+  DSEM_ENSURE(policy.max_attempts >= 1, "--retry-attempts must be >= 1");
+  DSEM_ENSURE(policy.backoff_base_s >= 0.0,
+              "--retry-backoff-s must be >= 0");
+  return policy;
+}
+
+} // namespace dsem::core

@@ -1,6 +1,7 @@
 #include "sim/device.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "sim/profile_cache.hpp"
@@ -16,6 +17,11 @@ Device::Device(DeviceSpec spec, NoiseConfig noise, std::uint64_t seed)
 }
 
 double Device::set_core_frequency(double mhz) {
+  if (faults_.should_fail_set_frequency()) {
+    throw TransientFault(FaultKind::kSetFrequency,
+                         "set_core_frequency(" + std::to_string(mhz) +
+                             ") rejected by " + spec_.name);
+  }
   const double snapped = spec_.core_frequencies.snap(mhz);
   pinned_mhz_ = snapped;
   return snapped;
@@ -51,6 +57,11 @@ double Device::default_frequency() const {
 
 LaunchResult Device::launch(const KernelProfile& kernel,
                             std::size_t work_items, ProfileCache* cache) {
+  if (faults_.should_fail_launch()) {
+    throw TransientFault(FaultKind::kKernelLaunch,
+                         "kernel launch aborted: " + kernel.name + " on " +
+                             spec_.name);
+  }
   const double f = current_frequency();
   ProfileCache::Cost cost;
   if (cache != nullptr) {
@@ -64,11 +75,24 @@ LaunchResult Device::launch(const KernelProfile& kernel,
   out.frequency_mhz = f;
   out.time_s = apply_noise(cost.time_s, noise_.time_sigma);
   out.energy_j = apply_noise(cost.energy_j, noise_.energy_sigma);
-  out.avg_power_w = out.time_s > 0.0 ? out.energy_j / out.time_s : 0.0;
 
+  // Counters accumulate the true reading even when the *read* below
+  // fails: the device consumed that energy whether or not we saw it.
   energy_j_ += out.energy_j;
   busy_s_ += out.time_s;
   ++launches_;
+
+  switch (faults_.energy_read_fault()) {
+  case FaultInjector::EnergyFault::kNone:
+    break;
+  case FaultInjector::EnergyFault::kDropped:
+    throw TransientFault(FaultKind::kEnergyRead,
+                         "energy counter read failed on " + spec_.name);
+  case FaultInjector::EnergyFault::kGarbage:
+    out.energy_j = faults_.garbage_energy(out.energy_j);
+    break;
+  }
+  out.avg_power_w = out.time_s > 0.0 ? out.energy_j / out.time_s : 0.0;
   return out;
 }
 

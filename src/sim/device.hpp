@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "sim/device_spec.hpp"
 #include "sim/execution_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/power_model.hpp"
 
 namespace dsem::sim {
@@ -47,11 +48,34 @@ public:
   /// Seed the device was constructed (or last reseeded) with.
   std::uint64_t seed() const noexcept { return seed_; }
 
-  /// Fresh device with the same spec and noise model but its own
-  /// measurement-noise stream: the building block of parallel sweeps,
-  /// where every grid point measures on its own deterministic replica
-  /// instead of racing on one device's RNG.
-  Device replica(std::uint64_t seed) const { return Device(spec_, noise_, seed); }
+  /// Fresh device with the same spec, noise model, and fault config but
+  /// its own measurement-noise and fault streams: the building block of
+  /// parallel sweeps, where every grid point measures on its own
+  /// deterministic replica instead of racing on one device's RNG.
+  Device replica(std::uint64_t seed) const {
+    Device d(spec_, noise_, seed);
+    d.set_fault_config(faults_.config());
+    return d;
+  }
+
+  // --- fault injection ----------------------------------------------------
+
+  /// Enables deterministic fault injection: the injector stream is
+  /// derived from the device seed, so the schedule survives replica() and
+  /// reseed(). All-zero rates (the default) are bit-identical to no
+  /// injection at all.
+  void set_fault_config(const FaultConfig& config) noexcept {
+    faults_ = FaultInjector(config, derive_seed(seed_, kFaultStreamSalt));
+  }
+
+  const FaultConfig& fault_config() const noexcept {
+    return faults_.config();
+  }
+
+  /// Transient faults fired on this device so far.
+  std::uint64_t faults_injected() const noexcept {
+    return faults_.faults_injected();
+  }
 
   // --- clocking -----------------------------------------------------------
 
@@ -81,6 +105,11 @@ public:
   /// (noisy) measured time and energy of this launch. With a cache, the
   /// noise-free launch cost is memoized across launches (and devices
   /// sharing the cache); results are bit-identical either way.
+  ///
+  /// With fault injection enabled, may throw TransientFault (aborted
+  /// launch, dropped energy read) or return a garbage (negative) energy
+  /// reading; the internal counters always accumulate the true value —
+  /// a bad read corrupts the observation, not the hardware state.
   LaunchResult launch(const KernelProfile& kernel, std::size_t work_items,
                       ProfileCache* cache = nullptr);
 
@@ -95,10 +124,12 @@ public:
   std::uint64_t launch_count() const noexcept { return launches_; }
   void reset_counters() noexcept;
 
-  /// Reseed the measurement-noise stream (e.g., per experiment repetition).
+  /// Reseed the measurement-noise and fault streams (e.g., per experiment
+  /// repetition).
   void reseed(std::uint64_t seed) noexcept {
     seed_ = seed;
     rng_.reseed(seed);
+    faults_.reseed(derive_seed(seed, kFaultStreamSalt));
   }
 
 private:
@@ -108,6 +139,7 @@ private:
   NoiseConfig noise_;
   std::uint64_t seed_ = 0;
   Rng rng_;
+  FaultInjector faults_;             ///< inert unless set_fault_config()
   std::optional<double> pinned_mhz_; ///< nullopt = auto/governed
   double energy_j_ = 0.0;
   double busy_s_ = 0.0;

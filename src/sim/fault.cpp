@@ -1,0 +1,17 @@
+#include "sim/fault.hpp"
+
+namespace dsem::sim {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+  case FaultKind::kSetFrequency:
+    return "set-frequency";
+  case FaultKind::kEnergyRead:
+    return "energy-read";
+  case FaultKind::kKernelLaunch:
+    return "kernel-launch";
+  }
+  return "unknown";
+}
+
+} // namespace dsem::sim

@@ -41,7 +41,7 @@ EnergyBreakdown energy(const DeviceSpec& spec, const ExecutionBreakdown& exec,
   // GPUs clock-gate inactive partitions); 40% is the ungated floor.
   const double activity =
       std::max(exec.compute_utilization(), exec.memory_utilization());
-  const double clock_gate = 0.5 + 0.5 * activity;
+  const double clock_gate = 0.4 + 0.6 * activity;
   e.clock_j = spec.power.clock_max_w * dvfs * clock_gate * exec.total_s;
   // Gating by throughput time (not wall time) makes per-op energy ~ V^2:
   // compute_j = P_max * dvfs * W*cpi/(lanes*f) ∝ V(f)^2 per unit of work.

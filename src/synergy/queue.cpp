@@ -1,6 +1,9 @@
 #include "synergy/queue.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "sim/fault.hpp"
 #include "sim/power_model.hpp"
 
 namespace dsem::synergy {
@@ -57,6 +60,19 @@ LaunchRecord Queue::submit(const KernelLaunch& launch) {
     record.energy_j += switch_s * sim::idle_power_w(spec, result.frequency_mhz);
   }
   last_freq_mhz_ = result.frequency_mhz;
+
+  // Sanity-check the vendor counter readings before they enter the log: a
+  // garbage read (negative delta from a wrapped accumulator, NaN from a
+  // dropped transaction) must surface as a retryable fault, never corrupt
+  // the measurement silently. Thrown before the totals advance.
+  if (!(std::isfinite(record.time_s) && record.time_s >= 0.0 &&
+        std::isfinite(record.energy_j) && record.energy_j >= 0.0)) {
+    throw sim::TransientFault(
+        sim::FaultKind::kEnergyRead,
+        "garbage counter reading for " + record.kernel_name +
+            ": time=" + std::to_string(record.time_s) +
+            " s, energy=" + std::to_string(record.energy_j) + " J");
+  }
 
   total_time_s_ += record.time_s;
   total_energy_j_ += record.energy_j;

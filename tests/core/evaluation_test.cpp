@@ -111,6 +111,13 @@ TEST_F(EvaluationTest, DsParetoCloserToTruthThanGp) {
             eval.gp_cmp.generational_distance + 0.02);
 }
 
+TEST(AccuracyReport, WorstGainsOverEmptyReportThrow) {
+  // Regression: these used to return *max_element of an empty range.
+  const AccuracyReport report;
+  EXPECT_THROW(report.worst_speedup_gain(), dsem::contract_error);
+  EXPECT_THROW(report.worst_energy_gain(), dsem::contract_error);
+}
+
 TEST_F(EvaluationTest, MismatchedWorkloadListRejected) {
   std::vector<std::unique_ptr<Workload>> short_list;
   short_list.push_back(std::make_unique<CronosWorkload>(

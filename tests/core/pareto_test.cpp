@@ -115,6 +115,55 @@ TEST(ComparePareto, EmptyPredictionIsSafe) {
   EXPECT_EQ(cmp.exact_matches, 0u);
 }
 
+TEST(ComparePareto, GenerationalDistanceIsRangeNormalized) {
+  // Hand-computed: truth front = {(1.0, 1.0), (2.0, 3.0)} (point 2 is
+  // dominated by point 1), so s_range = 1 and e_range = 2. Predicted
+  // point 2 = (1.5, 3.5):
+  //   to point 0: sqrt((0.5/1)^2 + (2.5/2)^2) = sqrt(1.8125)
+  //   to point 1: sqrt((0.5/1)^2 + (0.5/2)^2) = sqrt(0.3125)  <- nearest
+  const std::vector<double> s = {1.0, 2.0, 1.5};
+  const std::vector<double> e = {1.0, 3.0, 3.5};
+  const auto truth = pareto_front(s, e);
+  ASSERT_EQ(truth, (std::vector<std::size_t>{0, 1}));
+  const std::vector<std::size_t> predicted = {2};
+  const auto cmp = compare_pareto(s, e, truth, predicted);
+  EXPECT_DOUBLE_EQ(cmp.generational_distance, 0.55901699437494745);
+}
+
+TEST(ComparePareto, DistanceInvariantUnderObjectiveRescaling) {
+  // The normalization's point: stretching one objective's unit must not
+  // change the metric. Energy scaled 10x gives the same distance.
+  const std::vector<double> s = {1.0, 2.0, 1.5};
+  const std::vector<double> e1 = {1.0, 3.0, 3.5};
+  std::vector<double> e10;
+  for (double v : e1) {
+    e10.push_back(10.0 * v);
+  }
+  const auto truth = pareto_front(s, e1);
+  const std::vector<std::size_t> predicted = {2};
+  const auto a = compare_pareto(s, e1, truth, predicted);
+  const auto b = compare_pareto(s, e10, truth, predicted);
+  EXPECT_DOUBLE_EQ(a.generational_distance, b.generational_distance);
+}
+
+TEST(ComparePareto, DegenerateTrueFrontRangeFallsBackToRawDifferences) {
+  // Single-point true front: both ranges are 0 and fall back to 1, i.e.
+  // the raw Euclidean distance.
+  const std::vector<double> s = {1.0, 1.3};
+  const std::vector<double> e = {1.0, 1.4};
+  const std::vector<std::size_t> truth = {0};
+  const std::vector<std::size_t> predicted = {1};
+  const auto cmp = compare_pareto(s, e, truth, predicted);
+  EXPECT_DOUBLE_EQ(cmp.generational_distance, 0.5);
+}
+
+TEST(ComparePareto, EmptyTrueFrontWithPredictionsThrows) {
+  const std::vector<double> s = {1.0};
+  const std::vector<double> e = {1.0};
+  const std::vector<std::size_t> predicted = {0};
+  EXPECT_THROW(compare_pareto(s, e, {}, predicted), contract_error);
+}
+
 TEST(ComparePareto, OutOfRangeIndexThrows) {
   const std::vector<double> s = {1.0};
   const std::vector<double> e = {1.0};

@@ -1,0 +1,79 @@
+// Queue-level fault handling: the per-launch counter validation that
+// keeps garbage vendor readings out of the measurement log.
+#include <gtest/gtest.h>
+
+#include "sim/fault.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::synergy {
+namespace {
+
+sim::KernelProfile work_kernel() {
+  sim::KernelProfile p;
+  p.name = "work";
+  p.float_add = 100.0;
+  p.float_mul = 100.0;
+  p.global_bytes = 64.0;
+  return p;
+}
+
+TEST(QueueFaults, GarbageEnergyReadingIsRejectedBeforeTotalsAdvance) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none(), 0xBAD);
+  sim::FaultConfig config;
+  config.energy_read_garbage_rate = 1.0; // every read corrupts
+  sim_dev.set_fault_config(config);
+  Device device(sim_dev);
+  Queue queue(device, ExecMode::kSimOnly);
+
+  const sim::KernelProfile kernel = work_kernel();
+  for (int i = 0; i < 10; ++i) {
+    try {
+      queue.submit({kernel, 1 << 14, {}});
+      FAIL() << "garbage reading must not enter the log";
+    } catch (const sim::TransientFault& fault) {
+      EXPECT_EQ(fault.kind(), sim::FaultKind::kEnergyRead);
+    }
+  }
+  EXPECT_TRUE(queue.records().empty());
+  EXPECT_DOUBLE_EQ(queue.total_time_s(), 0.0);
+  EXPECT_DOUBLE_EQ(queue.total_energy_j(), 0.0);
+  // The device itself still consumed the energy of every launch.
+  EXPECT_GT(sim_dev.energy_joules(), 0.0);
+  EXPECT_EQ(sim_dev.launch_count(), 10u);
+}
+
+TEST(QueueFaults, DroppedEnergyReadPropagatesAsTransientFault) {
+  sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none(), 0xBAD2);
+  sim::FaultConfig config;
+  config.energy_read_drop_rate = 1.0;
+  sim_dev.set_fault_config(config);
+  Device device(sim_dev);
+  Queue queue(device, ExecMode::kSimOnly);
+
+  EXPECT_THROW(queue.submit({work_kernel(), 1 << 14, {}}),
+               sim::TransientFault);
+  EXPECT_TRUE(queue.records().empty());
+}
+
+TEST(QueueFaults, CleanLaunchesAreUnaffectedByEnabledInjector) {
+  sim::Device plain(sim::v100(), sim::NoiseConfig::none(), 0xC1EA);
+  sim::Device faulted(sim::v100(), sim::NoiseConfig::none(), 0xC1EA);
+  sim::FaultConfig config;
+  config.set_frequency_rate = 0.5; // never exercised: no frequency changes
+  faulted.set_fault_config(config);
+
+  Device dev_plain(plain);
+  Device dev_faulted(faulted);
+  Queue q_plain(dev_plain, ExecMode::kSimOnly);
+  Queue q_faulted(dev_faulted, ExecMode::kSimOnly);
+  const sim::KernelProfile kernel = work_kernel();
+  for (int i = 0; i < 5; ++i) {
+    q_plain.submit({kernel, 1 << 14, {}});
+    q_faulted.submit({kernel, 1 << 14, {}});
+  }
+  EXPECT_DOUBLE_EQ(q_plain.total_energy_j(), q_faulted.total_energy_j());
+  EXPECT_DOUBLE_EQ(q_plain.total_time_s(), q_faulted.total_time_s());
+}
+
+} // namespace
+} // namespace dsem::synergy
