@@ -11,15 +11,80 @@
 #include <chrono>
 
 #include "common/cli.hpp"
+#include "common/statistics.hpp"
+#include "common/trace.hpp"
+#include "core/dataset.hpp"
+#include "core/ds_model.hpp"
 #include "core/sweep_report.hpp"
+
+namespace {
+
+using namespace dsem;
+
+// Repackages an already-measured characterization curve as a one-group
+// training dataset — no extra sweeping.
+core::Dataset dataset_from(const core::Workload& workload,
+                           const core::Characterization& c) {
+  const std::vector<double> features = workload.domain_features();
+  core::Dataset d;
+  d.x = ml::Matrix(c.points.size(), features.size() + 1);
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    auto row = d.x.row(i);
+    std::copy(features.begin(), features.end(), row.begin());
+    row[features.size()] = c.points[i].freq_mhz;
+    d.time_s.push_back(c.points[i].time_s);
+    d.energy_j.push_back(c.points[i].energy_j);
+    d.groups.push_back(0);
+  }
+  d.group_names.push_back(workload.name());
+  d.group_default.push_back({c.default_time_s, c.default_energy_j});
+  d.default_freq_mhz.push_back(c.default_freq_mhz);
+  return d;
+}
+
+// Trains the domain-specific model on the measured curve and reports the
+// in-sample fit — a cheap self-consistency check on the model plumbing
+// (and the source of the train.ds spans in the trace).
+void print_model_self_fit(std::ostream& os, const core::Workload& workload,
+                          const core::Characterization& c) {
+  if (!c.baseline_ok || c.points.empty()) {
+    os << "model self-fit: skipped (degraded characterization)\n";
+    return;
+  }
+  const core::Dataset d = dataset_from(workload, c);
+  core::DomainSpecificModel model;
+  model.train(d);
+  std::vector<double> freqs;
+  std::vector<double> speedup;
+  std::vector<double> norm_energy;
+  for (const core::CharacterizationPoint& p : c.points) {
+    freqs.push_back(p.freq_mhz);
+    speedup.push_back(p.speedup);
+    norm_energy.push_back(p.norm_energy);
+  }
+  const core::Prediction pred =
+      model.predict(workload.domain_features(), freqs, c.default_freq_mhz);
+  os << "model self-fit (in-sample): speedup MAPE "
+     << fmt_percent(stats::mape(speedup, pred.speedup)) << ", energy MAPE "
+     << fmt_percent(stats::mape(norm_energy, pred.norm_energy)) << "\n";
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace dsem;
   CliParser cli("fig01_characterization",
                 "Fig. 1 — LiGen/Cronos characterization on the V100");
   core::add_fault_cli_options(cli);
+  cli.add_option("trace-out",
+                 "write a Chrome trace-event JSON of the run to this path",
+                 "");
   if (!cli.parse(argc, argv)) {
     return 0;
+  }
+  const std::string trace_out = cli.option("trace-out");
+  if (!trace_out.empty()) {
+    trace::set_enabled(true);
   }
 
   bench::Rig rig;
@@ -34,12 +99,18 @@ int main(int argc, char** argv) {
 
   const auto start = std::chrono::steady_clock::now();
   const core::LigenWorkload ligen(4096, 89, 8);
+  const core::Characterization ligen_c =
+      core::characterize(rig.v100, ligen, options);
   bench::print_characterization(std::cout, "Fig. 1a — LiGen on NVIDIA V100",
-                         core::characterize(rig.v100, ligen, options));
+                                ligen_c);
+  print_model_self_fit(std::cout, ligen, ligen_c);
 
   const core::CronosWorkload cronos({80, 32, 32}, 10);
+  const core::Characterization cronos_c =
+      core::characterize(rig.v100, cronos, options);
   bench::print_characterization(std::cout, "Fig. 1b — Cronos on NVIDIA V100",
-                         core::characterize(rig.v100, cronos, options));
+                                cronos_c);
+  print_model_self_fit(std::cout, cronos, cronos_c);
   report.add_phase(
       "characterization",
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -47,5 +118,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n";
   core::print_sweep_report(std::cout, report);
+  if (!trace_out.empty()) {
+    trace::write_chrome_file(trace_out);
+    std::cout << "\ntrace written to " << trace_out << "\n";
+    trace::Tracer::global().write_summary(std::cout);
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
 #include "core/sweep_report.hpp"
@@ -79,8 +80,15 @@ int main(int argc, char** argv) {
                  "0.03");
   cli.add_option("device", "v100 | mi100", "v100");
   core::add_fault_cli_options(cli);
+  cli.add_option("trace-out",
+                 "write a Chrome trace-event JSON of the run to this path",
+                 "");
   if (!cli.parse(argc, argv)) {
     return 0;
+  }
+  const std::string trace_out = cli.option("trace-out");
+  if (!trace_out.empty()) {
+    trace::set_enabled(true);
   }
   const std::string app = cli.option("app");
   DSEM_ENSURE(app == "cronos" || app == "ligen", "unknown app: " + app);
@@ -156,5 +164,10 @@ int main(int argc, char** argv) {
                    at.time_s / def.time_s - 1.0)
             << "\n\n";
   core::print_sweep_report(std::cout, report);
+  if (!trace_out.empty()) {
+    trace::write_chrome_file(trace_out);
+    std::cout << "\ntrace written to " << trace_out << "\n";
+    trace::Tracer::global().write_summary(std::cout);
+  }
   return 0;
 }

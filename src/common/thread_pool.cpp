@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/trace.hpp"
+
 namespace dsem {
 
 namespace {
@@ -60,6 +62,12 @@ bool ThreadPool::try_run_one() {
     task = std::move(tasks_.front());
     tasks_.pop();
   }
+  // A blocked waiter stealing work: the stolen task must not record trace
+  // events into the waiter's logical scope (which task a waiter steals is
+  // a scheduling accident).
+  trace::ScopeReset scope_reset;
+  trace::Span span("pool.steal", trace::cat::kPool,
+                   trace::Reliability::kTimingDependent);
   task();
   return true;
 }
@@ -69,13 +77,25 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        return; // stopping_ and drained
+      if (stopping_ || !tasks_.empty()) {
+        // Fast path: no idle span for an already-satisfied wait.
+        if (tasks_.empty()) {
+          return;
+        }
+      } else {
+        trace::Span idle("pool.idle", trace::cat::kPool,
+                         trace::Reliability::kTimingDependent);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) {
+          return; // stopping_ and drained
+        }
       }
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    trace::ScopeReset scope_reset;
+    trace::Span span("pool.task", trace::cat::kPool,
+                     trace::Reliability::kTimingDependent);
     task();
   }
 }

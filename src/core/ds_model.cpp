@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/features.hpp"
 #include "core/pareto.hpp"
 
@@ -36,6 +37,8 @@ DomainSpecificModel::DomainSpecificModel()
 void DomainSpecificModel::train(const Dataset& dataset,
                                 std::span<const std::size_t> rows) {
   DSEM_ENSURE(dataset.rows() > 0, "training on an empty dataset");
+  trace::Span span("train.ds", trace::cat::kTrain);
+  span.value(static_cast<double>(rows.empty() ? dataset.rows() : rows.size()));
   std::vector<std::size_t> all;
   if (rows.empty()) {
     all.resize(dataset.rows());

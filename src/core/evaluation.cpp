@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/statistics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace dsem::core {
 
@@ -100,10 +101,16 @@ AccuracyReport evaluate_accuracy(
   // the same pool without deadlock (blocked waiters execute queued tasks).
   AccuracyReport out;
   out.rows.resize(report.size());
+  trace::Span loocv_span("loocv.evaluate", trace::cat::kEval);
+  loocv_span.value(static_cast<double>(report.size()));
   parallel_for(
       ThreadPool::global(), 0, report.size(),
       [&](std::size_t i) {
         const std::string& name = report[i];
+        // Logical ROOT per fold: the fold's training span and prediction
+        // events key off the fold index, not the executing thread.
+        trace::Span fold_span("loocv.fold", trace::cat::kEval, i);
+        fold_span.arg(name);
         const int g = dataset.group_of(name);
         const auto ug = static_cast<std::size_t>(g);
         const Workload& workload = *workloads[ug];
@@ -142,6 +149,8 @@ ParetoEvaluation evaluate_pareto(
   DSEM_ENSURE(dataset.group_ok(g),
               "evaluate_pareto: target group unusable (failed sweep): " +
                   target_input);
+  trace::Span span("pareto.evaluate", trace::cat::kEval);
+  span.arg(target_input);
   const auto ug = static_cast<std::size_t>(g);
   const Workload& workload = *workloads[ug];
 

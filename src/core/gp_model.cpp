@@ -1,6 +1,7 @@
 #include "core/gp_model.hpp"
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/features.hpp"
 #include "core/sweep.hpp"
 
@@ -42,6 +43,8 @@ void GeneralPurposeModel::train(
   DSEM_ENSURE(!suite.empty(), "training on an empty micro-benchmark suite");
   DSEM_ENSURE(options.repetitions >= 1, "repetitions must be >= 1");
   DSEM_ENSURE(freq_stride >= 1, "freq_stride must be >= 1");
+  trace::Span span("train.gp", trace::cat::kTrain);
+  span.value(static_cast<double>(suite.size()));
 
   const std::vector<double> all_freqs = device.supported_frequencies();
   std::vector<double> freqs;

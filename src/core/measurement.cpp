@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/sweep.hpp"
 #include "sim/fault.hpp"
 
@@ -13,21 +14,29 @@ namespace {
 
 /// Records one failed attempt; throws MeasurementError when the policy is
 /// spent, otherwise accounts the simulated backoff before the retry.
+/// The trace counters here ARE the RetryStats fields (one metrics source
+/// of truth): retry.faults / retry.retries / retry.backoff_s accumulate
+/// exactly what the sweep report aggregates.
 void absorb_fault(const sim::TransientFault& fault, int attempt,
                   const RetryPolicy& policy, RetryStats* stats,
                   const char* operation) {
   if (stats != nullptr) {
     ++stats->faults;
   }
+  trace::counter("retry.faults", 1.0);
   if (attempt >= policy.max_attempts) {
+    trace::instant("retry.exhausted", trace::cat::kMeasure);
     throw MeasurementError(std::string(operation) + " failed after " +
                            std::to_string(attempt) + " attempts: " +
                            fault.what());
   }
+  const double backoff = policy.backoff_for(attempt);
   if (stats != nullptr) {
     ++stats->retries;
-    stats->simulated_backoff_s += policy.backoff_for(attempt);
+    stats->simulated_backoff_s += backoff;
   }
+  trace::counter("retry.retries", 1.0);
+  trace::counter("retry.backoff_s", backoff);
 }
 
 } // namespace
@@ -35,10 +44,13 @@ void absorb_fault(const sim::TransientFault& fault, int attempt,
 void set_frequency_with_retry(synergy::Device& device, double freq_mhz,
                               const RetryPolicy& policy, RetryStats* stats) {
   DSEM_ENSURE(policy.max_attempts >= 1, "max_attempts must be >= 1");
+  trace::Span span("measure.set_frequency", trace::cat::kMeasure);
+  span.value(freq_mhz);
   for (int attempt = 1;; ++attempt) {
     if (stats != nullptr) {
       ++stats->attempts;
     }
+    trace::counter("retry.attempts", 1.0);
     try {
       device.set_frequency(freq_mhz);
       return;
@@ -54,12 +66,15 @@ Measurement measure_run(synergy::Device& device, const RunFn& run,
   DSEM_ENSURE(repetitions >= 1, "repetitions must be >= 1");
   DSEM_ENSURE(retry.max_attempts >= 1, "max_attempts must be >= 1");
   DSEM_ENSURE(static_cast<bool>(run), "measure_run requires a run function");
+  trace::Span span("measure.run", trace::cat::kMeasure);
+  span.value(repetitions);
   Measurement acc;
   for (int r = 0; r < repetitions; ++r) {
     for (int attempt = 1;; ++attempt) {
       if (stats != nullptr) {
         ++stats->attempts;
       }
+      trace::counter("retry.attempts", 1.0);
       try {
         synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
         queue.set_profile_cache(cache);

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "core/sweep_report.hpp"
 
 namespace dsem::core {
@@ -54,11 +55,18 @@ std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
   std::vector<PointResult> grid(n);
   ThreadPool& pool = options.pool != nullptr ? *options.pool
                                              : ThreadPool::global();
+  trace::Span sweep_span("sweep.grid", trace::cat::kSweep);
+  sweep_span.value(static_cast<double>(n));
   parallel_for(
       pool, 0, n,
       [&](std::size_t idx) {
         const std::size_t t = idx / stride;
         const std::size_t k = idx % stride;
+        // Logical ROOT keyed by the flat grid index: everything this point
+        // records (measure spans, retry counters, queue submits) gets a
+        // (path, seq) that is a pure function of the grid coordinates.
+        trace::Span point_span("sweep.point", trace::cat::kSweep, idx);
+        point_span.value(k == 0 ? default_freq : freqs[k - 1]);
         PointResult& pr = grid[idx];
         sim::Device rep = base.replica(derive_seed(base_seed, idx));
         synergy::Device dev(rep);
@@ -75,9 +83,19 @@ std::vector<FrequencySweep> sweep_grid(synergy::Device& device,
           pr.ok = false;
           pr.m = {};
           pr.error = error.what();
+          trace::instant("sweep.point_failed", trace::cat::kSweep);
         }
       },
       /*grain=*/1);
+
+  if (trace::enabled()) {
+    std::uint64_t failed = 0;
+    for (const PointResult& pr : grid) {
+      failed += pr.ok ? 0 : 1;
+    }
+    trace::counter("sweep.grid_points", static_cast<double>(n));
+    trace::counter("sweep.failed_points", static_cast<double>(failed));
+  }
 
   std::vector<FrequencySweep> out(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {

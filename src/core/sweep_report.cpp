@@ -4,6 +4,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace dsem::core {
 
@@ -15,6 +16,11 @@ double SweepReport::cache_hit_rate() const noexcept {
 }
 
 void SweepReport::add_phase(std::string name, double seconds) {
+  // Phase wall-times feed the trace as gauges so the report and the trace
+  // share one metrics source; wall-clock durations are timing-dependent by
+  // nature and stay out of the golden logical view.
+  trace::gauge("sweep.phase_s", seconds, trace::Reliability::kTimingDependent,
+               name);
   phases.push_back({std::move(name), seconds});
 }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/trace.hpp"
 #include "sim/execution_model.hpp"
 #include "sim/power_model.hpp"
 
@@ -54,9 +55,16 @@ ProfileCache::Cost ProfileCache::lookup(const DeviceSpec& spec,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      // Which concurrent first lookup wins is a scheduling accident, so
+      // the hit/miss split is timing-dependent (report-only), matching
+      // the SweepReport determinism contract.
+      trace::counter("cache.hits", 1.0,
+                     trace::Reliability::kTimingDependent);
       return it->second;
     }
     ++misses_;
+    trace::counter("cache.misses", 1.0,
+                   trace::Reliability::kTimingDependent);
   }
   // Compute outside the lock; a concurrent miss for the same key derives
   // the identical value, so whichever insert wins is correct.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/power_model.hpp"
 
@@ -27,6 +28,8 @@ void Queue::clear_kernel_frequency_plan() {
 
 LaunchRecord Queue::submit(const KernelLaunch& launch) {
   DSEM_ENSURE(launch.work_items > 0, "kernel launch with zero work items");
+  trace::Span span("queue.submit", trace::cat::kQueue);
+  span.arg(launch.profile.name);
   if (!plan_.empty()) {
     const auto it = plan_.find(launch.profile.name);
     if (it != plan_.end()) {
@@ -74,6 +77,8 @@ LaunchRecord Queue::submit(const KernelLaunch& launch) {
             " s, energy=" + std::to_string(record.energy_j) + " J");
   }
 
+  span.value(record.energy_j);
+  trace::counter("queue.launches", 1.0);
   total_time_s_ += record.time_s;
   total_energy_j_ += record.energy_j;
   records_.push_back(record);

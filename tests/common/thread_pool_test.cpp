@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +229,87 @@ TEST(ParallelReduce, MoreThreadsThanElements) {
       [](std::size_t i) { return static_cast<double>(i + 1); },
       [](double a, double b) { return a + b; });
   EXPECT_DOUBLE_EQ(got, 6.0);
+}
+
+TEST(ThreadPool, HelpWhileWaitingExecutesNestedSubmissions) {
+  // The waited-on task submits children and waits on them in turn. On a
+  // single-worker pool the outer wait can only complete if
+  // help_while_waiting keeps draining the queue on the calling thread —
+  // including tasks submitted AFTER the wait began.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  auto outer = pool.submit([&] {
+    std::vector<std::future<void>> children;
+    for (int i = 0; i < 8; ++i) {
+      children.push_back(pool.submit([&done] { ++done; }));
+    }
+    for (auto& c : children) {
+      pool.help_while_waiting(c);
+      c.get();
+    }
+  });
+  pool.help_while_waiting(outer);
+  outer.get();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, NestedSubmissionUnderContention) {
+  // Many concurrent callers each spawn a two-level task tree on a pool
+  // smaller than the caller count: every wait must help. Exercises the
+  // steal path from multiple threads at once (the ASan/UBSan shard runs
+  // this to catch races in the queue handoff).
+  ThreadPool pool(2);
+  constexpr int kCallers = 6;
+  constexpr int kChildren = 16;
+  std::atomic<int> executed{0};
+  std::vector<std::jthread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      auto root = pool.submit([&] {
+        std::vector<std::future<int>> grandchildren;
+        for (int i = 0; i < kChildren; ++i) {
+          grandchildren.push_back(pool.submit([&executed, i] {
+            ++executed;
+            return i;
+          }));
+        }
+        int sum = 0;
+        for (auto& g : grandchildren) {
+          pool.help_while_waiting(g);
+          sum += g.get();
+        }
+        return sum;
+      });
+      pool.help_while_waiting(root);
+      EXPECT_EQ(root.get(), kChildren * (kChildren - 1) / 2);
+    });
+  }
+  callers.clear();
+  EXPECT_EQ(executed.load(), kCallers * kChildren);
+}
+
+TEST(ThreadPool, DeepNestedParallelForCompletes) {
+  // Three levels of nesting on one worker: only help-while-waiting keeps
+  // this from deadlocking, and every index must still run exactly once.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(27);
+  parallel_for(
+      pool, 0, 3,
+      [&](std::size_t i) {
+        parallel_for(
+            pool, 0, 3,
+            [&](std::size_t j) {
+              parallel_for(
+                  pool, 0, 3,
+                  [&](std::size_t k) { ++hits[i * 9 + j * 3 + k]; },
+                  /*grain=*/1);
+            },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(GlobalPool, IsSingleton) {

@@ -1,0 +1,152 @@
+// Property-style invariants of pareto_front over random point clouds.
+//
+// pareto_test.cpp pins hand-built examples; this file checks the
+// properties that must hold for ANY input: the front is invariant under
+// permutation of the points, no front member dominates another, points
+// off the front are dominated by it, and duplicate points collapse to
+// one representative.
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dsem::core {
+namespace {
+
+struct Cloud {
+  std::vector<double> speedup;
+  std::vector<double> energy;
+};
+
+Cloud random_cloud(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Cloud c;
+  for (std::size_t i = 0; i < n; ++i) {
+    c.speedup.push_back(rng.uniform(0.5, 2.0));
+    c.energy.push_back(rng.uniform(0.4, 1.6));
+  }
+  // Sprinkle exact duplicates so ties are always exercised.
+  for (std::size_t i = 0; i + 1 < n && i < 5; ++i) {
+    const std::size_t src = rng.uniform_int(n);
+    const std::size_t dst = rng.uniform_int(n);
+    c.speedup[dst] = c.speedup[src];
+    c.energy[dst] = c.energy[src];
+  }
+  return c;
+}
+
+/// The set of (speedup, energy) values a front selects — the permutation
+/// and duplicate properties compare value sets, not index sets.
+std::vector<std::pair<double, double>> front_values(
+    const Cloud& c, std::span<const std::size_t> front) {
+  std::vector<std::pair<double, double>> values;
+  for (std::size_t i : front) {
+    values.emplace_back(c.speedup[i], c.energy[i]);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+constexpr int kSeeds = 50;
+
+TEST(ParetoProperty, PermutationInvariance) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const Cloud c = random_cloud(derive_seed(0x9a12, seed), 64);
+    const auto base = front_values(c, pareto_front(c.speedup, c.energy));
+
+    Cloud shuffled = c;
+    std::vector<std::size_t> perm(c.speedup.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(derive_seed(0x51f3, seed));
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      shuffled.speedup[i] = c.speedup[perm[i]];
+      shuffled.energy[i] = c.energy[perm[i]];
+    }
+    const auto permuted =
+        front_values(shuffled, pareto_front(shuffled.speedup, shuffled.energy));
+    EXPECT_EQ(base, permuted) << "seed " << seed;
+  }
+}
+
+TEST(ParetoProperty, FrontMembersAreMutuallyNonDominating) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const Cloud c = random_cloud(derive_seed(0x2bd7, seed), 64);
+    const auto front = pareto_front(c.speedup, c.energy);
+    ASSERT_FALSE(front.empty()) << "seed " << seed;
+    for (std::size_t a : front) {
+      for (std::size_t b : front) {
+        if (a == b) {
+          continue;
+        }
+        const bool dominates = c.speedup[a] >= c.speedup[b] &&
+                               c.energy[a] <= c.energy[b] &&
+                               (c.speedup[a] > c.speedup[b] ||
+                                c.energy[a] < c.energy[b]);
+        EXPECT_FALSE(dominates)
+            << "seed " << seed << ": front member " << a
+            << " dominates front member " << b;
+      }
+    }
+  }
+}
+
+TEST(ParetoProperty, OffFrontPointsAreDominated) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const Cloud c = random_cloud(derive_seed(0x77c1, seed), 64);
+    const auto front = pareto_front(c.speedup, c.energy);
+    std::vector<double> fs;
+    std::vector<double> fe;
+    for (std::size_t i : front) {
+      fs.push_back(c.speedup[i]);
+      fe.push_back(c.energy[i]);
+    }
+    for (std::size_t i = 0; i < c.speedup.size(); ++i) {
+      if (std::find(front.begin(), front.end(), i) != front.end()) {
+        continue;
+      }
+      // Duplicates of a front point are not strictly dominated; they are
+      // off the front only because one representative was kept.
+      const bool duplicate_of_front =
+          std::any_of(front.begin(), front.end(), [&](std::size_t f) {
+            return c.speedup[f] == c.speedup[i] && c.energy[f] == c.energy[i];
+          });
+      if (duplicate_of_front) {
+        continue;
+      }
+      EXPECT_TRUE(is_dominated(c.speedup[i], c.energy[i], fs, fe))
+          << "seed " << seed << ": point " << i;
+    }
+  }
+}
+
+TEST(ParetoProperty, DuplicatePointsCollapse) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const Cloud c = random_cloud(derive_seed(0xe04a, seed), 48);
+    // Duplicate the whole cloud: the front's VALUE set must not change,
+    // and no (speedup, energy) value may appear twice on the front.
+    Cloud doubled = c;
+    doubled.speedup.insert(doubled.speedup.end(), c.speedup.begin(),
+                           c.speedup.end());
+    doubled.energy.insert(doubled.energy.end(), c.energy.begin(),
+                          c.energy.end());
+
+    const auto base = front_values(c, pareto_front(c.speedup, c.energy));
+    const auto front2 = pareto_front(doubled.speedup, doubled.energy);
+    const auto dbl = front_values(doubled, front2);
+    EXPECT_EQ(base, dbl) << "seed " << seed;
+
+    auto unique_check = dbl;
+    unique_check.erase(std::unique(unique_check.begin(), unique_check.end()),
+                       unique_check.end());
+    EXPECT_EQ(dbl.size(), unique_check.size())
+        << "seed " << seed << ": duplicate value on the front";
+  }
+}
+
+} // namespace
+} // namespace dsem::core
