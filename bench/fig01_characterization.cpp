@@ -12,7 +12,6 @@
 
 #include "common/cli.hpp"
 #include "common/statistics.hpp"
-#include "common/trace.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
 #include "core/sweep_report.hpp"
@@ -76,16 +75,11 @@ int main(int argc, char** argv) {
   CliParser cli("fig01_characterization",
                 "Fig. 1 — LiGen/Cronos characterization on the V100");
   core::add_fault_cli_options(cli);
-  cli.add_option("trace-out",
-                 "write a Chrome trace-event JSON of the run to this path",
-                 "");
+  core::add_observability_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return 0;
   }
-  const std::string trace_out = cli.option("trace-out");
-  if (!trace_out.empty()) {
-    trace::set_enabled(true);
-  }
+  core::enable_observability_from_cli(cli);
 
   bench::Rig rig;
   rig.v100_sim.set_fault_config(core::fault_config_from_cli(cli));
@@ -118,10 +112,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n";
   core::print_sweep_report(std::cout, report);
-  if (!trace_out.empty()) {
-    trace::write_chrome_file(trace_out);
-    std::cout << "\ntrace written to " << trace_out << "\n";
-    trace::Tracer::global().write_summary(std::cout);
-  }
+  core::write_observability_outputs(std::cout, cli, "fig01_characterization",
+                                    &report);
   return 0;
 }

@@ -12,7 +12,6 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "common/trace.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
 #include "core/sweep_report.hpp"
@@ -80,16 +79,11 @@ int main(int argc, char** argv) {
                  "0.03");
   cli.add_option("device", "v100 | mi100", "v100");
   core::add_fault_cli_options(cli);
-  cli.add_option("trace-out",
-                 "write a Chrome trace-event JSON of the run to this path",
-                 "");
+  core::add_observability_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return 0;
   }
-  const std::string trace_out = cli.option("trace-out");
-  if (!trace_out.empty()) {
-    trace::set_enabled(true);
-  }
+  core::enable_observability_from_cli(cli);
   const std::string app = cli.option("app");
   DSEM_ENSURE(app == "cronos" || app == "ligen", "unknown app: " + app);
   const double max_slowdown = cli.option_double("max-slowdown");
@@ -164,10 +158,7 @@ int main(int argc, char** argv) {
                    at.time_s / def.time_s - 1.0)
             << "\n\n";
   core::print_sweep_report(std::cout, report);
-  if (!trace_out.empty()) {
-    trace::write_chrome_file(trace_out);
-    std::cout << "\ntrace written to " << trace_out << "\n";
-    trace::Tracer::global().write_summary(std::cout);
-  }
+  core::write_observability_outputs(std::cout, cli, "frequency_advisor",
+                                    &report);
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/sweep_report.hpp"
 #include "cronos/problems.hpp"
 #include "cronos/solver.hpp"
 
@@ -54,9 +55,11 @@ int main(int argc, char** argv) {
   cli.add_option("resolution", "grid cells per side", "64");
   cli.add_option("end-time", "simulation end time", "0.25");
   cli.add_option("frequency", "core clock in MHz (0 = device default)", "0");
+  core::add_observability_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  core::enable_observability_from_cli(cli);
   const int n = static_cast<int>(cli.option_int("resolution"));
   const double end_time = cli.option_double("end-time");
   const double freq = cli.option_double("frequency");
@@ -100,5 +103,7 @@ int main(int argc, char** argv) {
   bill.print(std::cout);
   std::cout << "total: " << fmt(queue.total_time_s(), 4) << " s GPU busy, "
             << fmt(queue.total_energy_j(), 2) << " J\n";
+  core::write_observability_outputs(std::cout, cli, "mhd_simulation",
+                                    /*report=*/nullptr);
   return 0;
 }

@@ -9,13 +9,23 @@
 //      against a real measurement
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
 #include "core/evaluation.hpp"
+#include "core/sweep_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsem;
+
+  CliParser cli("quickstart",
+                "the paper's energy-modeling workflow in one narrated run");
+  core::add_observability_cli_options(cli);
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+  core::enable_observability_from_cli(cli);
 
   // --- 1. device ----------------------------------------------------------
   sim::Device v100_sim(sim::v100(), sim::NoiseConfig{}, /*seed=*/0x9015);
@@ -90,5 +100,7 @@ int main() {
   std::cout << "measured:  " << fmt_percent(measured_saving)
             << " energy saving at " << fmt_percent(measured_loss)
             << " slowdown\n";
+  core::write_observability_outputs(std::cout, cli, "quickstart",
+                                    /*report=*/nullptr);
   return 0;
 }

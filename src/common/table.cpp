@@ -83,6 +83,51 @@ void Table::print_csv(std::ostream& os) const {
   }
 }
 
+namespace {
+
+std::vector<std::string> instrument_header(
+    const std::vector<std::string>& extras) {
+  std::vector<std::string> header = {"kind", "name", "count", "total",
+                                     "mean", "min",  "max"};
+  header.insert(header.end(), extras.begin(), extras.end());
+  return header;
+}
+
+} // namespace
+
+InstrumentTable::InstrumentTable(std::vector<std::string> extra_columns)
+    : table_(instrument_header(extra_columns)),
+      extra_count_(extra_columns.size()) {}
+
+void InstrumentTable::add(std::vector<std::string> row,
+                          std::vector<std::string> extras) {
+  DSEM_ENSURE(extras.size() <= extra_count_,
+              "instrument row has more extras than declared columns");
+  for (auto& cell : extras) {
+    row.push_back(std::move(cell));
+  }
+  row.resize(table_.column_count());
+  table_.add_row(std::move(row));
+}
+
+void InstrumentTable::add_distribution(std::string kind, std::string name,
+                                       std::size_t count, std::string total,
+                                       std::string mean, std::string min,
+                                       std::string max,
+                                       std::vector<std::string> extras) {
+  add({std::move(kind), std::move(name), fmt(count), std::move(total),
+       std::move(mean), std::move(min), std::move(max)},
+      std::move(extras));
+}
+
+void InstrumentTable::add_value(std::string kind, std::string name,
+                                std::size_t count, std::string value,
+                                std::vector<std::string> extras) {
+  add({std::move(kind), std::move(name), fmt(count), std::move(value), "", "",
+       ""},
+      std::move(extras));
+}
+
 std::string fmt(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);
@@ -98,6 +143,12 @@ std::string fmt(long long value) {
 std::string fmt(std::size_t value) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%zu", value);
+  return buf;
+}
+
+std::string fmt_g(double value, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", significant, value);
   return buf;
 }
 

@@ -33,8 +33,44 @@ private:
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Shared layout for instrument summaries — the trace span summary
+/// (trace::Tracer::write_summary) and the metrics snapshot table
+/// (metrics::Snapshot::write_table) render through this one helper so the
+/// column set and blank-fill policy cannot drift apart. Columns are
+/// {kind, name, count, total, mean, min, max} plus optional extras (the
+/// metrics table appends p50/p90/p99). Callers format the numeric cells
+/// (fmt / fmt_g); this class owns the row shapes:
+///  - distribution rows (spans, histograms) fill every statistic column;
+///  - value rows (counters, gauges) fill only `total` and leave
+///    mean/min/max blank.
+class InstrumentTable {
+public:
+  explicit InstrumentTable(std::vector<std::string> extra_columns = {});
+
+  void add_distribution(std::string kind, std::string name, std::size_t count,
+                        std::string total, std::string mean, std::string min,
+                        std::string max, std::vector<std::string> extras = {});
+
+  void add_value(std::string kind, std::string name, std::size_t count,
+                 std::string value, std::vector<std::string> extras = {});
+
+  void print(std::ostream& os) const { table_.print(os); }
+  const Table& table() const noexcept { return table_; }
+
+private:
+  void add(std::vector<std::string> row, std::vector<std::string> extras);
+
+  Table table_;
+  std::size_t extra_count_;
+};
+
 /// Fixed-precision float formatting ("%.*f").
 std::string fmt(double value, int precision = 4);
+
+/// Significant-digit float formatting ("%.*g"): for quantities whose scale
+/// varies too widely for a fixed decimal count (histogram samples span
+/// microseconds to joules).
+std::string fmt_g(double value, int significant = 6);
 
 /// Integer formatting.
 std::string fmt(long long value);

@@ -68,6 +68,8 @@ bool ThreadPool::try_run_one() {
   trace::ScopeReset scope_reset;
   trace::Span span("pool.steal", trace::cat::kPool,
                    trace::Reliability::kTimingDependent);
+  // Which thread steals how many tasks is a scheduling accident.
+  metrics::counter("pool.steals", 1, metrics::Reliability::kWallClock);
   task();
   return true;
 }
@@ -96,6 +98,9 @@ void ThreadPool::worker_loop() {
     trace::ScopeReset scope_reset;
     trace::Span span("pool.task", trace::cat::kPool,
                      trace::Reliability::kTimingDependent);
+    // Steals run some submissions inline, so the worker tally varies with
+    // scheduling even though the submission count does not.
+    metrics::counter("pool.tasks", 1, metrics::Reliability::kWallClock);
     task();
   }
 }

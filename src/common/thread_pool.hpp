@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace dsem {
 
@@ -55,6 +56,9 @@ public:
       std::lock_guard lock(mutex_);
       DSEM_ENSURE(!stopping_, "submit() on a stopped ThreadPool");
       tasks_.emplace([task] { (*task)(); });
+      // How deep the queue gets is a scheduling observation, not a
+      // property of the run: wall-clock reliability.
+      metrics::gauge("pool.queue_depth", static_cast<double>(tasks_.size()));
     }
     cv_.notify_one();
     return result;

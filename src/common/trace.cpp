@@ -507,19 +507,18 @@ void Tracer::write_summary(std::ostream& os) const {
     }
   }
 
-  Table table({"kind", "name", "count", "total", "mean", "min", "max"});
+  InstrumentTable table;
   for (const auto& [name, s] : spans) {
     const double n = static_cast<double>(s.count);
-    table.add_row({"span", name, fmt(s.count), fmt(s.total_ns / 1e6, 3),
-                   fmt(s.total_ns / n / 1e3, 3), fmt(s.min_ns / 1e3, 3),
-                   fmt(s.max_ns / 1e3, 3)});
+    table.add_distribution("span", name, s.count, fmt(s.total_ns / 1e6, 3),
+                           fmt(s.total_ns / n / 1e3, 3), fmt(s.min_ns / 1e3, 3),
+                           fmt(s.max_ns / 1e3, 3));
   }
   for (const auto& [name, v] : counters) {
-    table.add_row(
-        {"counter", name, fmt(v.count), fmt(v.total, 4), "", "", ""});
+    table.add_value("counter", name, v.count, fmt(v.total, 4));
   }
   for (const auto& [name, v] : gauges) {
-    table.add_row({"gauge", name, fmt(v.count), fmt(v.last, 4), "", "", ""});
+    table.add_value("gauge", name, v.count, fmt(v.last, 4));
   }
   os << "trace summary (" << event_count() << " events, " << instants
      << " instants; span times ms total / us mean-min-max)\n";

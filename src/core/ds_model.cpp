@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/features.hpp"
 #include "core/pareto.hpp"
@@ -39,6 +40,7 @@ void DomainSpecificModel::train(const Dataset& dataset,
   DSEM_ENSURE(dataset.rows() > 0, "training on an empty dataset");
   trace::Span span("train.ds", trace::cat::kTrain);
   span.value(static_cast<double>(rows.empty() ? dataset.rows() : rows.size()));
+  metrics::ScopedTimer timer("train.ds_s");
   std::vector<std::size_t> all;
   if (rows.empty()) {
     all.resize(dataset.rows());

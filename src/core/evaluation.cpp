@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/statistics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
@@ -111,6 +112,8 @@ AccuracyReport evaluate_accuracy(
         // events key off the fold index, not the executing thread.
         trace::Span fold_span("loocv.fold", trace::cat::kEval, i);
         fold_span.arg(name);
+        metrics::counter("loocv.folds");
+        metrics::ScopedTimer fold_timer("loocv.fold_s");
         const int g = dataset.group_of(name);
         const auto ug = static_cast<std::size_t>(g);
         const Workload& workload = *workloads[ug];
@@ -151,6 +154,7 @@ ParetoEvaluation evaluate_pareto(
                   target_input);
   trace::Span span("pareto.evaluate", trace::cat::kEval);
   span.arg(target_input);
+  metrics::ScopedTimer timer("eval.pareto_s");
   const auto ug = static_cast<std::size_t>(g);
   const Workload& workload = *workloads[ug];
 

@@ -1,6 +1,7 @@
 #include "core/gp_model.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/features.hpp"
 #include "core/sweep.hpp"
@@ -45,6 +46,7 @@ void GeneralPurposeModel::train(
   DSEM_ENSURE(freq_stride >= 1, "freq_stride must be >= 1");
   trace::Span span("train.gp", trace::cat::kTrain);
   span.value(static_cast<double>(suite.size()));
+  metrics::ScopedTimer timer("train.gp_s");
 
   const std::vector<double> all_freqs = device.supported_frequencies();
   std::vector<double> freqs;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/sweep.hpp"
 #include "sim/fault.hpp"
@@ -24,6 +25,7 @@ void absorb_fault(const sim::TransientFault& fault, int attempt,
     ++stats->faults;
   }
   trace::counter("retry.faults", 1.0);
+  metrics::counter("retry.faults");
   if (attempt >= policy.max_attempts) {
     trace::instant("retry.exhausted", trace::cat::kMeasure);
     throw MeasurementError(std::string(operation) + " failed after " +
@@ -37,6 +39,12 @@ void absorb_fault(const sim::TransientFault& fault, int attempt,
   }
   trace::counter("retry.retries", 1.0);
   trace::counter("retry.backoff_s", backoff);
+  // Faults are drawn from the replica device's seeded stream, so retry
+  // accounting is deterministic (same contract as RetryStats).
+  if (metrics::enabled()) {
+    metrics::counter("retry.retries");
+    metrics::histogram("retry.backoff_s", backoff);
+  }
 }
 
 } // namespace
@@ -51,6 +59,7 @@ void set_frequency_with_retry(synergy::Device& device, double freq_mhz,
       ++stats->attempts;
     }
     trace::counter("retry.attempts", 1.0);
+    metrics::counter("retry.attempts");
     try {
       device.set_frequency(freq_mhz);
       return;
@@ -75,6 +84,7 @@ Measurement measure_run(synergy::Device& device, const RunFn& run,
         ++stats->attempts;
       }
       trace::counter("retry.attempts", 1.0);
+      metrics::counter("retry.attempts");
       try {
         synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
         queue.set_profile_cache(cache);
@@ -99,6 +109,11 @@ Measurement measure_run(synergy::Device& device, const RunFn& run,
   }
   acc.time_s /= repetitions;
   acc.energy_j /= repetitions;
+  // Averaged simulated totals: deterministic like the per-launch values.
+  if (metrics::enabled()) {
+    metrics::histogram("measure.time_s", acc.time_s);
+    metrics::histogram("measure.energy_j", acc.energy_j);
+  }
   return acc;
 }
 

@@ -2,8 +2,10 @@
 
 #include <ostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 
 namespace dsem::core {
@@ -21,6 +23,10 @@ void SweepReport::add_phase(std::string name, double seconds) {
   // nature and stay out of the golden logical view.
   trace::gauge("sweep.phase_s", seconds, trace::Reliability::kTimingDependent,
                name);
+  if (metrics::enabled()) {
+    metrics::gauge("phase." + name + "_s", seconds,
+                   metrics::Reliability::kWallClock);
+  }
   phases.push_back({std::move(name), seconds});
 }
 
@@ -42,6 +48,98 @@ void print_sweep_report(std::ostream& os, const SweepReport& report) {
   }
   for (const SweepReport::Phase& phase : report.phases) {
     os << "  phase " << phase.name << ": " << phase.seconds << " s\n";
+  }
+}
+
+json::Value sweep_report_to_json(const SweepReport& report) {
+  auto root = json::Value::object();
+  root.set("grid_points", report.grid_points);
+  root.set("failed_points", report.failed_points);
+
+  auto retry = json::Value::object();
+  retry.set("attempts", report.retry.attempts);
+  retry.set("retries", report.retry.retries);
+  retry.set("faults", report.retry.faults);
+  retry.set("simulated_backoff_s", report.retry.simulated_backoff_s);
+  root.set("retry", std::move(retry));
+
+  auto cache = json::Value::object();
+  cache.set("hits", report.cache_hits);
+  cache.set("misses", report.cache_misses);
+  cache.set("hit_rate", report.cache_hit_rate());
+  root.set("cache", std::move(cache));
+
+  auto failures = json::Value::array();
+  for (const FailedPoint& f : report.failures) {
+    auto failure = json::Value::object();
+    failure.set("task", f.task);
+    failure.set("freq_mhz", f.freq_mhz);
+    failure.set("baseline", f.baseline);
+    failure.set("attempts", f.attempts);
+    failure.set("error", f.error);
+    failures.push_back(std::move(failure));
+  }
+  root.set("failures", std::move(failures));
+
+  auto phases = json::Value::array();
+  for (const SweepReport::Phase& phase : report.phases) {
+    auto p = json::Value::object();
+    p.set("name", phase.name);
+    p.set("seconds", phase.seconds);
+    phases.push_back(std::move(p));
+  }
+  root.set("phases", std::move(phases));
+  return root;
+}
+
+json::Value run_manifest(const std::string& program,
+                         const SweepReport* report) {
+  auto manifest = json::Value::object();
+  manifest.set("schema", kRunSchema);
+  manifest.set("program", program);
+  manifest.set("sweep_report",
+               report == nullptr ? json::Value()
+                                 : sweep_report_to_json(*report));
+  manifest.set("metrics", metrics::Registry::global().snapshot().to_json());
+  return manifest;
+}
+
+void add_observability_cli_options(CliParser& cli) {
+  cli.add_option("trace-out",
+                 "write a Chrome trace-event JSON of the run to this path",
+                 "");
+  cli.add_option(
+      "metrics-out",
+      "write a dsem-run-v1 JSON manifest (sweep report + metrics) here", "");
+}
+
+bool enable_observability_from_cli(const CliParser& cli) {
+  bool active = false;
+  if (!cli.option("trace-out").empty()) {
+    trace::set_enabled(true);
+    active = true;
+  }
+  if (!cli.option("metrics-out").empty()) {
+    metrics::set_enabled(true);
+    active = true;
+  }
+  return active;
+}
+
+void write_observability_outputs(std::ostream& os, const CliParser& cli,
+                                 const std::string& program,
+                                 const SweepReport* report) {
+  const std::string trace_out = cli.option("trace-out");
+  if (!trace_out.empty()) {
+    trace::write_chrome_file(trace_out);
+    os << "\ntrace written to " << trace_out << "\n";
+    trace::Tracer::global().write_summary(os);
+  }
+  const std::string metrics_out = cli.option("metrics-out");
+  if (!metrics_out.empty()) {
+    benchreport::write_file(metrics_out, run_manifest(program, report));
+    os << "\nrun manifest written to " << metrics_out << "\n";
+    metrics::Registry::global().snapshot().write_table(os);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "sim/profile_cache.hpp"
 
 namespace dsem::sim {
@@ -81,6 +82,14 @@ LaunchResult Device::launch(const KernelProfile& kernel,
   energy_j_ += out.energy_j;
   busy_s_ += out.time_s;
   ++launches_;
+
+  // Simulated seconds/joules, not wall time: deterministic per replica
+  // seed, so the merged histograms are stable across DSEM_THREADS.
+  if (metrics::enabled()) {
+    metrics::counter("sim.launches");
+    metrics::histogram("sim.launch_time_s", out.time_s);
+    metrics::histogram("sim.launch_energy_j", out.energy_j);
+  }
 
   switch (faults_.energy_read_fault()) {
   case FaultInjector::EnergyFault::kNone:

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "sim/execution_model.hpp"
 #include "sim/power_model.hpp"
@@ -60,11 +61,13 @@ ProfileCache::Cost ProfileCache::lookup(const DeviceSpec& spec,
       // the SweepReport determinism contract.
       trace::counter("cache.hits", 1.0,
                      trace::Reliability::kTimingDependent);
+      metrics::counter("cache.hits", 1, metrics::Reliability::kWallClock);
       return it->second;
     }
     ++misses_;
     trace::counter("cache.misses", 1.0,
                    trace::Reliability::kTimingDependent);
+    metrics::counter("cache.misses", 1, metrics::Reliability::kWallClock);
   }
   // Compute outside the lock; a concurrent miss for the same key derives
   // the identical value, so whichever insert wins is correct.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/power_model.hpp"
@@ -79,6 +80,13 @@ LaunchRecord Queue::submit(const KernelLaunch& launch) {
 
   span.value(record.energy_j);
   trace::counter("queue.launches", 1.0);
+  // record.time_s/energy_j are simulated quantities (replica-seeded):
+  // deterministic across pool sizes, unlike the wall time of this call.
+  if (metrics::enabled()) {
+    metrics::counter("queue.launches");
+    metrics::histogram("queue.launch_time_s", record.time_s);
+    metrics::histogram("queue.launch_energy_j", record.energy_j);
+  }
   total_time_s_ += record.time_s;
   total_energy_j_ += record.energy_j;
   records_.push_back(record);

@@ -68,6 +68,43 @@ TEST(Statistics, QuantileInterpolates) {
 TEST(Statistics, QuantileRejectsOutOfRange) {
   const std::array<double, 2> xs = {0.0, 1.0};
   EXPECT_THROW(quantile(xs, 1.5), contract_error);
+  EXPECT_THROW(quantile(xs, -0.1), contract_error);
+}
+
+// The metrics histograms (common/metrics) promise "common/statistics
+// quantile semantics"; these edge cases pin the semantics they rely on.
+
+TEST(Statistics, QuantileSingleElementIsConstantInQ) {
+  const std::array<double, 1> xs = {7.0};
+  for (double q : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(xs, q), 7.0) << q;
+  }
+}
+
+TEST(Statistics, QuantileEndpointsAreExactExtremesUnsorted) {
+  // q = 0 / q = 1 must return the true min/max with no interpolation,
+  // regardless of input order.
+  const std::array<double, 5> xs = {3.0, -2.0, 9.0, 0.5, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Statistics, QuantileTiesCollapseToTiedValue) {
+  // Interpolating between equal neighbors must return the tied value
+  // exactly, not drift from the arithmetic.
+  const std::array<double, 5> xs = {2.0, 2.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.7), 2.0); // rank 2.8: both neighbors tied
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  const std::array<double, 4> all_tied = {3.0, 3.0, 3.0, 3.0};
+  for (double q : {0.0, 0.33, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(all_tied, q), 3.0) << q;
+  }
+}
+
+TEST(Statistics, QuantileEmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), contract_error);
 }
 
 TEST(Statistics, MaeRmse) {

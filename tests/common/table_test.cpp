@@ -87,5 +87,71 @@ TEST(Banner, ContainsTitle) {
   EXPECT_NE(os.str().find("Experiment 1"), std::string::npos);
 }
 
+TEST(FmtG, SignificantDigits) {
+  EXPECT_EQ(fmt_g(0.25), "0.25");
+  EXPECT_EQ(fmt_g(1234567.0), "1.23457e+06");
+  EXPECT_EQ(fmt_g(1234567.0, 9), "1234567");
+  EXPECT_EQ(fmt_g(0.000123456789, 3), "0.000123");
+  EXPECT_EQ(fmt_g(0.0), "0");
+}
+
+// InstrumentTable is the one layout both exporters share (trace summaries
+// and metrics snapshots). Its output must be byte-identical to building
+// the equivalent Table by hand — that equivalence is what keeps the trace
+// summary byte-stable after the refactor onto the shared helper.
+
+TEST(InstrumentTable, MatchesHandBuiltTableByteForByte) {
+  InstrumentTable it;
+  it.add_distribution("span", "sweep.point", 28, "12.5", "0.446", "0.21",
+                      "1.8");
+  it.add_value("counter", "retry.attempts", 31, "35");
+  it.add_value("gauge", "pool.queue_depth", 9, "3");
+  std::ostringstream actual;
+  it.print(actual);
+
+  Table expected({"kind", "name", "count", "total", "mean", "min", "max"});
+  expected.add_row({"span", "sweep.point", "28", "12.5", "0.446", "0.21",
+                    "1.8"});
+  expected.add_row({"counter", "retry.attempts", "31", "35", "", "", ""});
+  expected.add_row({"gauge", "pool.queue_depth", "9", "3", "", "", ""});
+  std::ostringstream want;
+  expected.print(want);
+
+  EXPECT_EQ(actual.str(), want.str());
+}
+
+TEST(InstrumentTable, ExtraColumnsExtendHeaderAndPadValueRows) {
+  InstrumentTable it({"p50", "p99"});
+  it.add_distribution("histogram", "measure.time_s", 4, "1", "0.25", "0.2",
+                      "0.3", {"0.24", "0.3"});
+  it.add_value("counter", "sim.launches", 4, "4");
+  EXPECT_EQ(it.table().column_count(), 9u);
+
+  std::ostringstream os;
+  it.print(os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("p50"), std::string::npos);
+  EXPECT_NE(header.find("p99"), std::string::npos);
+
+  // A value row padded with blanks stays rectangular with the header.
+  Table expected({"kind", "name", "count", "total", "mean", "min", "max",
+                  "p50", "p99"});
+  expected.add_row({"histogram", "measure.time_s", "4", "1", "0.25", "0.2",
+                    "0.3", "0.24", "0.3"});
+  expected.add_row({"counter", "sim.launches", "4", "4", "", "", "", "", ""});
+  std::ostringstream want;
+  expected.print(want);
+  EXPECT_EQ(os.str(), want.str());
+}
+
+TEST(InstrumentTable, RejectsMoreExtrasThanDeclared) {
+  InstrumentTable it({"p50"});
+  EXPECT_THROW(it.add_distribution("histogram", "h", 1, "1", "1", "1", "1",
+                                   {"a", "b"}),
+               contract_error);
+}
+
 } // namespace
 } // namespace dsem
