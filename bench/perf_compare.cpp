@@ -4,7 +4,10 @@
 // real time and exits 1 when any entry regressed beyond --tolerance
 // (fractional; 0.25 flags >25 % slower). --warn-only reports the same
 // analysis but always exits 0 — the CI starting posture until baselines
-// from dedicated hardware exist.
+// from dedicated hardware exist. --strict-prefix <name/> carves out a
+// strict zone inside --warn-only: regressions whose name starts with the
+// prefix fail the gate even under --warn-only, so curated benchmarks
+// (perf_ml/) hard-fail while noisier suites keep warning.
 #include <cstdio>
 #include <iostream>
 
@@ -21,6 +24,10 @@ int main(int argc, char** argv) {
                  "0.25");
   cli.add_option("min-time-ns",
                  "ignore entries with baseline real time below this", "100");
+  cli.add_option("strict-prefix",
+                 "benchmark name prefix whose regressions fail even under "
+                 "--warn-only (e.g. perf_ml/)",
+                 "");
   cli.add_flag("warn-only", "report regressions but exit 0");
   if (!cli.parse(argc, argv)) {
     return 0;
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
   benchreport::CompareOptions options;
   options.tolerance = cli.option_double("tolerance");
   options.min_time_ns = cli.option_double("min-time-ns");
+  const std::string strict_prefix = cli.option("strict-prefix");
 
   const json::Value baseline = benchreport::load_file(cli.positional()[0]);
   const json::Value current = benchreport::load_file(cli.positional()[1]);
@@ -48,6 +56,14 @@ int main(int argc, char** argv) {
   const benchreport::CompareResult result =
       benchreport::compare(baseline, current, options);
   benchreport::print_compare(std::cout, result, options);
+
+  const std::vector<benchreport::Delta> strict =
+      benchreport::match_prefix(result.regressions, strict_prefix);
+  if (!strict.empty()) {
+    std::cout << "strict zone '" << strict_prefix << "': " << strict.size()
+              << " regression(s) — failing regardless of --warn-only\n";
+    return 1;
+  }
   if (!result.ok() && cli.flag("warn-only")) {
     std::cout << "(--warn-only: exiting 0 despite regressions)\n";
     return 0;

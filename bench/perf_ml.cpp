@@ -1,10 +1,13 @@
 // Performance micro-benchmarks of the ML layer: forest fit dominates the
-// LOOCV evaluation harness.
+// LOOCV evaluation harness. The perf_ml/ suite is the strict zone of the
+// CI perf gate (perf_compare --strict-prefix perf_ml/), so keep existing
+// benchmark names stable — renames read as missing+added, not regressions.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
 #include "ml/forest.hpp"
 #include "ml/svr.hpp"
+#include "ml/tree.hpp"
 
 namespace {
 
@@ -50,6 +53,29 @@ void BM_ForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredict);
 
+// Single tree on the full dataset: isolates split finding from the
+// bootstrap/ensemble machinery that dominates BM_ForestFit.
+void BM_TreeFit(benchmark::State& state) {
+  const auto [x, y] = make_data(static_cast<std::size_t>(state.range(0)), 4);
+  ml::TreeParams params;
+  for (auto _ : state) {
+    ml::DecisionTreeRegressor tree(params);
+    tree.fit(x, y);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictBatch(benchmark::State& state) {
+  const auto [x, y] = make_data(5000, 4);
+  ml::RandomForestRegressor forest;
+  forest.fit(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_many(x));
+  }
+}
+BENCHMARK(BM_ForestPredictBatch)->Unit(benchmark::kMillisecond);
+
 void BM_SvrFit(benchmark::State& state) {
   const auto [x, y] = make_data(static_cast<std::size_t>(state.range(0)), 4);
   for (auto _ : state) {
@@ -59,6 +85,17 @@ void BM_SvrFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SvrFit)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_SvrPredict(benchmark::State& state) {
+  const auto [x, y] = make_data(800, 4);
+  ml::SvrRbf svr(100.0, 0.01, 1.0, 100);
+  svr.fit(x, y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svr.predict_one(x.row(i++ % x.rows())));
+  }
+}
+BENCHMARK(BM_SvrPredict);
 
 } // namespace
 

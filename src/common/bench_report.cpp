@@ -150,6 +150,20 @@ CompareResult compare(const json::Value& baseline, const json::Value& current,
   return result;
 }
 
+std::vector<Delta> match_prefix(const std::vector<Delta>& deltas,
+                                const std::string& prefix) {
+  std::vector<Delta> out;
+  if (prefix.empty()) {
+    return out;
+  }
+  for (const Delta& d : deltas) {
+    if (d.name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
 void print_compare(std::ostream& os, const CompareResult& result,
                    const CompareOptions& options) {
   os << "perf compare (tolerance " << fmt(options.tolerance * 100.0, 0)

@@ -88,6 +88,12 @@ struct CompareResult {
 CompareResult compare(const json::Value& baseline, const json::Value& current,
                       const CompareOptions& options = {});
 
+/// Deltas whose name starts with `prefix`, in input order. An empty prefix
+/// matches nothing (a gate that strictens "" would silently strict-gate
+/// every benchmark). Backs perf_compare --strict-prefix.
+std::vector<Delta> match_prefix(const std::vector<Delta>& deltas,
+                                const std::string& prefix);
+
 /// Human-readable rendering of a comparison (table of deltas plus
 /// missing/added lists).
 void print_compare(std::ostream& os, const CompareResult& result,

@@ -116,6 +116,15 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (begin >= end) {
     return;
   }
+  if (pool.thread_count() <= 1) {
+    // A lone worker cannot overlap anything with the caller: enqueueing
+    // chunks would only buy condvar round-trips per region. Chunk geometry
+    // is a scheduling accident callers must not depend on, so collapsing
+    // to one inline chunk is observationally equivalent — and exactly the
+    // "DSEM_THREADS=1 means serial" contract.
+    fn(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   if (grain == 0) {
     // Aim for a few chunks per worker to smooth load imbalance.

@@ -124,6 +124,17 @@ T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (begin >= end) {
     return init;
   }
+  if (pool.thread_count() <= 1) {
+    // Single worker: run the one chunk inline (see parallel_for_chunks),
+    // combining exactly as the submitted path would so results stay
+    // bit-identical: a chunk accumulator seeded with init, then folded
+    // into the outer accumulator.
+    T chunk_acc = init;
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk_acc = combine(chunk_acc, map_fn(i));
+    }
+    return combine(init, chunk_acc);
+  }
   const std::size_t n = end - begin;
   const std::size_t chunks =
       std::min<std::size_t>(n, std::max<std::size_t>(1, pool.thread_count()));

@@ -76,25 +76,31 @@ Prediction DomainSpecificModel::predict(std::span<const double> domain_features,
   out.time_s.reserve(freqs_mhz.size());
   out.energy_j.reserve(freqs_mhz.size());
 
-  std::vector<double> row(domain_features.begin(), domain_features.end());
-  row.push_back(0.0);
-  const auto predict_pair = [&](double f) {
-    row.back() = f;
-    double t = time_model_->predict_one(row);
-    double e = energy_model_->predict_one(row);
-    if (log_targets_) {
+  // One batch for the whole frequency grid (baseline row last): each row
+  // is an independent predict_one, so batching changes nothing but speed.
+  ml::Matrix queries(freqs_mhz.size() + 1, domain_features.size() + 1);
+  for (std::size_t i = 0; i <= freqs_mhz.size(); ++i) {
+    auto row = queries.row(i);
+    std::copy(domain_features.begin(), domain_features.end(), row.begin());
+    row.back() = i < freqs_mhz.size() ? freqs_mhz[i] : default_freq_mhz;
+  }
+  std::vector<double> t_pred = time_model_->predict_many(queries);
+  std::vector<double> e_pred = energy_model_->predict_many(queries);
+  if (log_targets_) {
+    for (double& t : t_pred) {
       t = std::exp(t);
+    }
+    for (double& e : e_pred) {
       e = std::exp(e);
     }
-    return std::pair{t, e};
-  };
-  for (double f : freqs_mhz) {
-    const auto [t, e] = predict_pair(f);
-    out.time_s.push_back(t);
-    out.energy_j.push_back(e);
+  }
+  for (std::size_t i = 0; i < freqs_mhz.size(); ++i) {
+    out.time_s.push_back(t_pred[i]);
+    out.energy_j.push_back(e_pred[i]);
   }
 
-  const auto [t_base, e_base] = predict_pair(default_freq_mhz);
+  const double t_base = t_pred.back();
+  const double e_base = e_pred.back();
   DSEM_ENSURE(t_base > 0.0 && e_base > 0.0,
               "non-positive predicted baseline");
 

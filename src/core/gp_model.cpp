@@ -126,24 +126,32 @@ Prediction GeneralPurposeModel::predict(const sim::KernelProfile& profile,
 
   Prediction out;
   out.freqs_mhz.assign(freqs_mhz.begin(), freqs_mhz.end());
-  std::vector<double> row = static_feature_vector(profile);
-  row.push_back(0.0);
+  const std::vector<double> features = static_feature_vector(profile);
+
+  // One batch for the whole frequency grid, baseline row first: each row
+  // is an independent predict_one, so batching changes nothing but speed.
+  ml::Matrix queries(freqs_mhz.size() + 1, features.size() + 1);
+  for (std::size_t i = 0; i <= freqs_mhz.size(); ++i) {
+    auto row = queries.row(i);
+    std::copy(features.begin(), features.end(), row.begin());
+    row.back() = i == 0 ? default_freq_mhz : freqs_mhz[i - 1];
+  }
+  const std::vector<double> s_pred = speedup_model_->predict_many(queries);
+  const std::vector<double> e_pred = energy_model_->predict_many(queries);
 
   // Normalize against the model's own output at the default frequency so
   // the predicted curve satisfies speedup(default) = norm_energy(default)
   // = 1 exactly, like the measured curves do.
-  row.back() = default_freq_mhz;
-  const double s_base = speedup_model_->predict_one(row);
-  const double e_base = energy_model_->predict_one(row);
+  const double s_base = s_pred.front();
+  const double e_base = e_pred.front();
   DSEM_ENSURE(s_base > 0.0 && e_base > 0.0,
               "non-positive predicted baseline");
 
   out.speedup.reserve(freqs_mhz.size());
   out.norm_energy.reserve(freqs_mhz.size());
-  for (double f : freqs_mhz) {
-    row.back() = f;
-    out.speedup.push_back(speedup_model_->predict_one(row) / s_base);
-    out.norm_energy.push_back(energy_model_->predict_one(row) / e_base);
+  for (std::size_t i = 0; i < freqs_mhz.size(); ++i) {
+    out.speedup.push_back(s_pred[i + 1] / s_base);
+    out.norm_energy.push_back(e_pred[i + 1] / e_base);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace dsem::ml {
 
@@ -14,16 +15,25 @@ RandomForestRegressor::RandomForestRegressor(ForestParams params)
 void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
   DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
   DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
+  metrics::ScopedTimer timer("ml.forest.fit_s");
   const std::size_t n = x.rows();
   const auto n_trees = static_cast<std::size_t>(params_.n_estimators);
+  ThreadPool& pool =
+      params_.pool != nullptr ? *params_.pool : ThreadPool::global();
 
   TreeParams tp;
   tp.max_depth = params_.max_depth;
   tp.min_samples_split = params_.min_samples_split;
   tp.min_samples_leaf = params_.min_samples_leaf;
   tp.max_features = params_.max_features;
+  tp.pool = params_.pool;
 
   trees_.assign(n_trees, DecisionTreeRegressor(tp));
+
+  // Sort every feature once and share the result: each tree re-sorts its
+  // bootstrap in O(k·n) from this order instead of O(k·n log n) from
+  // scratch (DESIGN.md §7.10).
+  const auto presorted = detail::Presorted::build(x, y, params_.pool);
 
   // Derive one independent seed per tree up front so results do not depend
   // on scheduling order (CP.2: no shared mutable RNG across tasks).
@@ -33,7 +43,7 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
     s = seeder.next();
   }
 
-  parallel_for(0, n_trees, [&](std::size_t t) {
+  parallel_for(pool, 0, n_trees, [&](std::size_t t) {
     Rng rng(seeds[t]);
     TreeParams tree_params = tp;
     tree_params.seed = rng();
@@ -46,13 +56,8 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
     } else {
       std::iota(sample.begin(), sample.end(), 0);
     }
-    const Matrix xb = x.gather_rows(sample);
-    std::vector<double> yb(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      yb[i] = y[sample[i]];
-    }
     DecisionTreeRegressor tree(tree_params);
-    tree.fit(xb, yb);
+    tree.fit_presorted(presorted, y, sample);
     trees_[t] = std::move(tree);
   });
 }
@@ -64,6 +69,32 @@ double RandomForestRegressor::predict_one(std::span<const double> x) const {
     acc += tree.predict_one(x);
   }
   return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::predict_many(const Matrix& x) const {
+  DSEM_ENSURE(!trees_.empty(), "predict on unfitted RandomForestRegressor");
+  std::vector<double> out(x.rows(), 0.0);
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    // Tree-outer: one tree's node array stays hot across the whole chunk.
+    // Each row still sums trees in ascending order — the predict_one sum.
+    for (const auto& tree : trees_) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        out[r] += tree.predict_one(x.row(r));
+      }
+    }
+    const auto scale = static_cast<double>(trees_.size());
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] /= scale;
+    }
+  };
+  if (x.rows() >= 256) {
+    ThreadPool& pool =
+        params_.pool != nullptr ? *params_.pool : ThreadPool::global();
+    parallel_for_chunks(pool, 0, x.rows(), run);
+  } else {
+    run(0, x.rows());
+  }
+  return out;
 }
 
 } // namespace dsem::ml

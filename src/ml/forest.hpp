@@ -16,6 +16,9 @@ struct ForestParams {
   int max_features = 0;      ///< 0 = all features (sklearn regressor default)
   bool bootstrap = true;
   std::uint64_t seed = 42;
+  /// Pool for tree fitting and batch prediction; nullptr = the global
+  /// pool. Pool size never affects the fitted forest or its predictions.
+  ThreadPool* pool = nullptr;
 };
 
 class RandomForestRegressor final : public Regressor {
@@ -24,6 +27,10 @@ public:
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> x) const override;
+  /// Batch prediction in tree-outer order: each chunk of rows walks one
+  /// tree's (hot) node array at a time instead of streaming the whole
+  /// forest per row. Same sums as predict_one, row by row.
+  std::vector<double> predict_many(const Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override {
     return std::make_unique<RandomForestRegressor>(params_);
   }

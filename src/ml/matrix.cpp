@@ -49,6 +49,16 @@ Matrix Matrix::transposed() const {
   return out;
 }
 
+FeatureMajor::FeatureMajor(const Matrix& m)
+    : rows_(m.rows()), cols_(m.cols()), data_(m.rows() * m.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto src = m.row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      data_[c * rows_ + r] = src[c];
+    }
+  }
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   DSEM_ENSURE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());

@@ -50,6 +50,28 @@ private:
   std::vector<double> data_;
 };
 
+/// Feature-major (column-major) copy of a Matrix for the training hot
+/// paths: col(f) is one contiguous span per feature, so per-feature sorts
+/// and scans touch sequential memory instead of striding across rows.
+/// A copy, not a view — it does not track later writes to the source.
+class FeatureMajor {
+public:
+  FeatureMajor() = default;
+  explicit FeatureMajor(const Matrix& m);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  std::span<const double> col(std::size_t c) const noexcept {
+    return {data_.data() + c * rows_, rows_};
+  }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
 /// C = A * B. Throws on dimension mismatch.
 Matrix matmul(const Matrix& a, const Matrix& b);
 

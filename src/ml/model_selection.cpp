@@ -76,11 +76,11 @@ double cross_val_score(
     model->fit(x_train, y_train);
 
     std::vector<double> truth(split.test.size());
-    std::vector<double> pred(split.test.size());
     for (std::size_t i = 0; i < split.test.size(); ++i) {
       truth[i] = y[split.test[i]];
-      pred[i] = model->predict_one(x.row(split.test[i]));
     }
+    const std::vector<double> pred =
+        model->predict_many(x.gather_rows(split.test));
     acc += score(truth, pred);
   }
   return acc / static_cast<double>(splits.size());

@@ -3,8 +3,30 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dsem::ml {
+
+namespace {
+// Batches below this stay serial: the values are identical either way,
+// and tiny batches (the LOOCV inner loop) don't amortize task dispatch.
+constexpr std::size_t kParallelPredictMinRows = 256;
+} // namespace
+
+std::vector<double> Regressor::predict_many(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = predict_one(x.row(r));
+    }
+  };
+  if (x.rows() >= kParallelPredictMinRows) {
+    parallel_for_chunks(ThreadPool::global(), 0, x.rows(), run);
+  } else {
+    run(0, x.rows());
+  }
+  return out;
+}
 
 void StandardScaler::fit(const Matrix& x) {
   DSEM_ENSURE(x.rows() > 0, "StandardScaler: empty dataset");

@@ -23,12 +23,15 @@ public:
   virtual std::unique_ptr<Regressor> clone() const = 0;
   virtual std::string name() const = 0;
 
+  /// Predicts every row of `x`. out[r] is exactly predict_one(x.row(r)) —
+  /// rows are independent, so the base implementation fans large batches
+  /// across the global pool with each row writing its own slot (the output
+  /// never depends on scheduling). Models override this when a batch can
+  /// be evaluated in a more cache-friendly order than row-by-row.
+  virtual std::vector<double> predict_many(const Matrix& x) const;
+
   std::vector<double> predict(const Matrix& x) const {
-    std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out[r] = predict_one(x.row(r));
-    }
-    return out;
+    return predict_many(x);
   }
 };
 

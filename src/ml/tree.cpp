@@ -1,13 +1,332 @@
 #include "ml/tree.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <numeric>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dsem::ml {
+
+namespace {
+
+// Nodes at least this large fan their candidate-feature scan and their
+// order-maintenance partition across the pool; smaller nodes stay serial.
+// The cut is on node size only — never pool size — so the set of parallel
+// units (and their per-slot outputs) is the same for every pool.
+constexpr std::size_t kParallelNodeMinSamples = 4096;
+
+// A candidate split for one feature: the best (score, threshold) found by
+// scanning that feature's sorted stream, chained from the node SSE with
+// the same strict `score < best - 1e-12` improvement rule the reduce step
+// applies across features.
+struct Candidate {
+  double score = 0.0;
+  double threshold = 0.0;
+  bool valid = false;
+};
+
+// Scans one feature's sorted stream for the best split of a node holding
+// entries [0, n). The stream carries values and row ids; targets are
+// gathered through the row id (`targets[rows[i]]` is the very double a
+// dedicated target stream would hold, so dropping that stream changes no
+// bit — it only saves 16 bytes per entry per level of partition traffic).
+// Prefix sums accumulate targets in stream order — sorted by
+// (value, target) exactly like the seed's per-node `std::sort` of
+// (value, target) pairs, so every candidate's left/right SSE is
+// bit-identical to the seed's.
+//
+// Two shapes of the same arithmetic: small nodes run the seed's fused
+// loop; larger nodes run it in L1-resident blocks of three passes — a
+// scalar prefix chain, a branchless score pass the compiler vectorizes
+// (packed divisions are the expensive op here, and SIMD retires several
+// per cycle-group where the fused loop serializes them), and a scalar
+// selection chain. Every candidate's score is computed by the exact same
+// IEEE operations in both shapes (tie positions compute a score the
+// selection chain never consults, exactly as the fused loop's `continue`
+// never consults one), so the cutover size is a pure performance knob.
+constexpr std::size_t kBlockScanMinSamples = 16;
+constexpr std::size_t kScanBlock = 512;
+
+// 0, 1, 2, ... as doubles: lets the score pass form nl/nr by exact
+// integer-valued double adds instead of a per-lane int->double convert
+// the vectorizer refuses.
+constexpr auto kIotaD = [] {
+  std::array<double, kScanBlock> a{};
+  for (std::size_t j = 0; j < kScanBlock; ++j) {
+    a[j] = static_cast<double>(j);
+  }
+  return a;
+}();
+
+// The branchless middle pass of the blocked scan: candidate scores from
+// the prefix sums. Cloned for AVX2 (runtime-dispatched, so the baseline
+// build still runs everywhere): the packed divisions bound this loop and
+// wider vectors retire more of them per dispatch. Safe to widen because
+// every lane is the same IEEE expression — and no product here feeds an
+// add, so no FMA contraction can exist in any clone.
+__attribute__((target_clones("default", "avx2")))
+void score_block(const double* ls, const double* lq, double* sc,
+                 std::size_t bn, double nl0, double nr0, double sum,
+                 double sum_sq) {
+  for (std::size_t j = 0; j < bn; ++j) {
+    const double nl = nl0 + kIotaD[j];
+    const double nr = nr0 - kIotaD[j];
+    const double right_sum = sum - ls[j];
+    const double right_sq = sum_sq - lq[j];
+    const double sse_left = lq[j] - ls[j] * ls[j] / nl;
+    const double sse_right = right_sq - right_sum * right_sum / nr;
+    sc[j] = sse_left + sse_right;
+  }
+}
+
+Candidate scan_feature(const double* value, const std::uint32_t* rows,
+                       const double* targets, std::size_t n,
+                       std::size_t min_leaf, double sum, double sum_sq,
+                       double node_sse) {
+  Candidate out;
+  if (n < 2 * min_leaf || value[0] == value[n - 1]) {
+    return out; // no admissible split / constant feature in this node
+  }
+
+  double left_sum = 0.0;
+  double left_sq = 0.0;
+  double best_score = node_sse; // must strictly improve on no-split
+  std::size_t i = 0;
+  for (; i + 1 < min_leaf; ++i) { // too few on the left to be a candidate
+    const double t = targets[rows[i]];
+    left_sum += t;
+    left_sq += t * t;
+  }
+  const std::size_t last = n - min_leaf; // i >= last starves the right side
+
+  if (n < kBlockScanMinSamples) {
+    for (; i < last; ++i) {
+      const double t = targets[rows[i]];
+      left_sum += t;
+      left_sq += t * t;
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double sse_left =
+          left_sq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      const double score = sse_left + sse_right;
+      // Tie entries (equal adjacent values cannot be split) compute a
+      // score the select never consults — the same branch-free fold as
+      // the blocked path's selection chain, for the same reason.
+      const bool improve =
+          (score < best_score - 1e-12) & (value[i] != value[i + 1]);
+      const double thr = 0.5 * (value[i] + value[i + 1]);
+      best_score = improve ? score : best_score;
+      out.threshold = improve ? thr : out.threshold;
+      out.valid = out.valid | improve;
+    }
+    out.score = best_score;
+    return out;
+  }
+
+  alignas(64) double ls[kScanBlock];
+  alignas(64) double lq[kScanBlock];
+  alignas(64) double sc[kScanBlock];
+  for (std::size_t b = i; b < last; b += kScanBlock) {
+    const std::size_t bn = std::min(kScanBlock, last - b);
+    for (std::size_t j = 0; j < bn; ++j) { // the serial prefix chain
+      const double t = targets[rows[b + j]];
+      left_sum += t;
+      left_sq += t * t;
+      ls[j] = left_sum;
+      lq[j] = left_sq;
+    }
+    // nl = b+j+1 and nr = n-(b+j+1) exactly (all integers below 2^53).
+    score_block(ls, lq, sc, bn, static_cast<double>(b + 1),
+                static_cast<double>(n - b - 1), sum, sum_sq);
+    // The seed's selection chain, split into a packed candidate filter and
+    // a sparse exact walk. "Beats the best score seen before this block"
+    // is a necessary condition for acceptance (the running best only
+    // tightens within the block), and the tie test (cannot split between
+    // equal values) is exact either way — so a packed compare against the
+    // block-entry best yields a bitmask that provably contains every entry
+    // the sequential chain would accept. Walking only the set bits then
+    // applies the seed's strict `< best - 1e-12` test in stream order,
+    // byte-identical to running the chain over all bn entries, but the
+    // dense pass is branch-free and the sparse pass's accept branch is
+    // predictable because ties (the random ~1/3 of a bootstrap stream that
+    // made the fused chain mispredict) never reach it.
+#if defined(__SSE2__)
+    const __m128d entry_limit = _mm_set1_pd(best_score - 1e-12);
+    for (std::size_t g = 0; g < bn; g += 64) {
+      const std::size_t gn = std::min<std::size_t>(64, bn - g);
+      std::uint64_t word = 0;
+      std::size_t j = 0;
+      for (; j + 2 <= gn; j += 2) {
+        const __m128d s = _mm_load_pd(sc + g + j);
+        const __m128d v0 = _mm_loadu_pd(value + b + g + j);
+        const __m128d v1 = _mm_loadu_pd(value + b + g + j + 1);
+        const __m128d hit = _mm_and_pd(_mm_cmplt_pd(s, entry_limit),
+                                       _mm_cmpneq_pd(v0, v1));
+        word |= static_cast<std::uint64_t>(_mm_movemask_pd(hit)) << j;
+      }
+      if (j < gn) { // odd tail of the final group
+        const bool hit = (sc[g + j] < _mm_cvtsd_f64(entry_limit)) &
+                         (value[b + g + j] != value[b + g + j + 1]);
+        word |= static_cast<std::uint64_t>(hit) << j;
+      }
+      while (word != 0) {
+        const auto t = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const std::size_t jj = g + t;
+        if (sc[jj] < best_score - 1e-12) {
+          best_score = sc[jj];
+          out.threshold = 0.5 * (value[b + jj] + value[b + jj + 1]);
+          out.valid = true;
+        }
+      }
+    }
+#else
+    for (std::size_t j = 0; j < bn; ++j) {
+      const bool improve =
+          (sc[j] < best_score - 1e-12) & (value[b + j] != value[b + j + 1]);
+      const double thr = 0.5 * (value[b + j] + value[b + j + 1]);
+      best_score = improve ? sc[j] : best_score;
+      out.threshold = improve ? thr : out.threshold;
+      out.valid = out.valid | improve;
+    }
+#endif
+  }
+  out.score = best_score;
+  return out;
+}
+
+} // namespace
+
+namespace detail {
+
+Presorted Presorted::build(const Matrix& x, std::span<const double> y,
+                           ThreadPool* pool) {
+  DSEM_ENSURE(x.rows() == y.size(), "Presorted: X/y size mismatch");
+  DSEM_ENSURE(x.rows() > 0, "Presorted: empty dataset");
+  Presorted ps;
+  ps.n = x.rows();
+  ps.k = x.cols();
+  ps.value.resize(ps.n * ps.k);
+  ps.row.resize(ps.n * ps.k);
+
+  const FeatureMajor fm(x); // contiguous sort keys per feature
+  const auto sort_one = [&](std::size_t f) {
+    const auto col = fm.col(f);
+    std::uint32_t* rows = ps.row.data() + f * ps.n;
+    double* values = ps.value.data() + f * ps.n;
+    std::iota(rows, rows + ps.n, std::uint32_t{0});
+    std::sort(rows, rows + ps.n, [&](std::uint32_t a, std::uint32_t b) {
+      if (col[a] != col[b]) {
+        return col[a] < col[b];
+      }
+      if (y[a] != y[b]) {
+        return y[a] < y[b];
+      }
+      return a < b;
+    });
+    for (std::size_t i = 0; i < ps.n; ++i) {
+      values[i] = col[rows[i]];
+    }
+  };
+
+  if (ps.n >= kParallelNodeMinSamples && ps.k >= 2) {
+    parallel_for(pool != nullptr ? *pool : ThreadPool::global(), 0, ps.k,
+                 sort_one);
+  } else {
+    for (std::size_t f = 0; f < ps.k; ++f) {
+      sort_one(f);
+    }
+  }
+  return ps;
+}
+
+} // namespace detail
+
+// Per-fit scratch arena: every buffer build() touches is sized once here,
+// so the recursion allocates nothing per node.
+//
+// The k per-feature streams are structure-of-arrays (separate value and
+// row-index arrays; targets are gathered through the row index) and
+// double-buffered: a node at depth d reads its streams from buffer d & 1
+// and partitions both children into the other buffer, so stream
+// maintenance writes each entry exactly once per level with no copy-back.
+struct DecisionTreeRegressor::Workspace {
+  std::size_t m = 0; ///< training samples
+  std::size_t k = 0; ///< features
+  std::size_t min_leaf = 1;
+  ThreadPool* pool = nullptr;
+
+  std::vector<double> value[2];        ///< k streams × m entries, per buffer
+  std::vector<std::uint32_t> index[2]; ///< training row of each entry
+  std::vector<std::uint32_t> indices; ///< the seed's node sample ordering
+  std::vector<std::uint8_t> go_left; ///< split side per sample row
+  std::vector<double> targets; ///< y gathered onto training rows
+  std::vector<std::size_t> features; ///< candidate buffer (re-iota'd per node)
+  std::vector<Candidate> cand; ///< one slot per candidate feature
+  std::vector<std::uint32_t> swap_l; ///< misfit positions, ascending
+  std::vector<std::uint32_t> swap_r; ///< fit positions, descending
+
+  double* stream_value(int buf, std::size_t f) noexcept {
+    return value[buf].data() + f * m;
+  }
+  std::uint32_t* stream_index(int buf, std::size_t f) noexcept {
+    return index[buf].data() + f * m;
+  }
+
+  /// Borrow a retired workspace (or make a fresh one) / retire it again.
+  /// A forest fits hundreds of trees back to back; without recycling each
+  /// fit would mmap, fault in, and zero a few MB of streams only to free
+  /// them milliseconds later. Recycling is invisible to results because
+  /// every buffer is resized and fully rewritten before any read.
+  static std::unique_ptr<Workspace> acquire();
+  static void retire(std::unique_ptr<Workspace> ws);
+
+private:
+  struct Arena {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Workspace>> retired;
+  };
+  static Arena& arena();
+};
+
+DecisionTreeRegressor::Workspace::Arena& DecisionTreeRegressor::Workspace::arena() {
+  static Arena a;
+  return a;
+}
+
+std::unique_ptr<DecisionTreeRegressor::Workspace>
+DecisionTreeRegressor::Workspace::acquire() {
+  Arena& a = arena();
+  std::lock_guard lock(a.mutex);
+  if (!a.retired.empty()) {
+    auto ws = std::move(a.retired.back());
+    a.retired.pop_back();
+    return ws;
+  }
+  return std::make_unique<Workspace>();
+}
+
+void DecisionTreeRegressor::Workspace::retire(std::unique_ptr<Workspace> ws) {
+  Arena& a = arena();
+  std::lock_guard lock(a.mutex);
+  a.retired.push_back(std::move(ws));
+}
 
 DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
     : params_(params) {
@@ -20,26 +339,117 @@ DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
 void DecisionTreeRegressor::fit(const Matrix& x, std::span<const double> y) {
   DSEM_ENSURE(x.rows() == y.size(), "fit: X/y size mismatch");
   DSEM_ENSURE(x.rows() > 0, "fit: empty dataset");
-  nodes_.clear();
-  depth_ = 0;
-  std::vector<std::size_t> indices(x.rows());
-  std::iota(indices.begin(), indices.end(), 0);
-  Rng rng(params_.seed);
-  build(x, y, indices, 0, indices.size(), 0, rng);
+  const auto ps = detail::Presorted::build(x, y, params_.pool);
+  fit_presorted(ps, y, {});
 }
 
-std::int32_t DecisionTreeRegressor::build(const Matrix& x,
+void DecisionTreeRegressor::fit_presorted(const detail::Presorted& ps,
                                           std::span<const double> y,
-                                          std::vector<std::size_t>& indices,
-                                          std::size_t begin, std::size_t end,
-                                          int depth, Rng& rng) {
-  depth_ = std::max(depth_, depth);
-  const std::size_t n = end - begin;
+                                          std::span<const std::size_t> sample) {
+  DSEM_ENSURE(ps.n == y.size(), "fit_presorted: presort/y size mismatch");
+  DSEM_ENSURE(ps.n > 0, "fit_presorted: empty dataset");
+  const std::size_t m = sample.empty() ? ps.n : sample.size();
+  DSEM_ENSURE(m <= std::numeric_limits<std::uint32_t>::max(),
+              "fit_presorted: too many samples");
 
+  nodes_.clear();
+  nodes_.reserve(2 * m); // a binary tree over m samples never exceeds 2m-1
+  depth_ = 0;
+
+  auto ws_owner = Workspace::acquire();
+  Workspace& ws = *ws_owner;
+  ws.m = m;
+  ws.k = ps.k;
+  ws.min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
+  ws.pool = params_.pool;
+  for (int buf = 0; buf < 2; ++buf) {
+    ws.value[buf].resize(ps.k * m);
+    ws.index[buf].resize(ps.k * m);
+  }
+  ws.indices.resize(m);
+  ws.go_left.resize(m);
+  ws.targets.resize(m);
+  ws.features.resize(ps.k);
+  ws.cand.resize(ps.k);
+  ws.swap_l.resize(m);
+  ws.swap_r.resize(m);
+  std::iota(ws.indices.begin(), ws.indices.end(), std::uint32_t{0});
+
+  if (sample.empty()) {
+    std::copy(y.begin(), y.end(), ws.targets.begin());
+    for (std::size_t f = 0; f < ps.k; ++f) {
+      const double* values = ps.value.data() + f * ps.n;
+      const std::uint32_t* rows = ps.row.data() + f * ps.n;
+      double* sv = ws.stream_value(0, f);
+      std::uint32_t* si = ws.stream_index(0, f);
+      for (std::size_t j = 0; j < ps.n; ++j) {
+        sv[j] = values[j];
+        si[j] = rows[j];
+      }
+    }
+  } else {
+    // Bootstrap expansion: bucket the sample by source row, then emit each
+    // feature's stream by walking the source order once and replaying each
+    // source row `multiplicity` times — O(k·m) instead of k sorts. Within
+    // equal (value, target) the emitted row order is bucket order, which
+    // prefix sums cannot distinguish.
+    std::vector<std::size_t> offset(ps.n + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      DSEM_ENSURE(sample[i] < ps.n, "fit_presorted: sample row out of range");
+      ++offset[sample[i] + 1];
+      ws.targets[i] = y[sample[i]];
+    }
+    for (std::size_t r = 0; r < ps.n; ++r) {
+      offset[r + 1] += offset[r];
+    }
+    std::vector<std::uint32_t> bucket(m);
+    {
+      std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        bucket[cursor[sample[i]]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+    for (std::size_t f = 0; f < ps.k; ++f) {
+      const double* values = ps.value.data() + f * ps.n;
+      const std::uint32_t* rows = ps.row.data() + f * ps.n;
+      double* sv = ws.stream_value(0, f);
+      std::uint32_t* si = ws.stream_index(0, f);
+      std::size_t out = 0;
+      for (std::size_t j = 0; j < ps.n; ++j) {
+        const std::uint32_t src = rows[j];
+        const double v = values[j];
+        for (std::size_t b = offset[src]; b < offset[src + 1]; ++b) {
+          sv[out] = v;
+          si[out] = bucket[b];
+          ++out;
+        }
+      }
+      DSEM_ASSERT(out == m, "bootstrap expansion lost samples");
+    }
+  }
+
+  Rng rng(params_.seed);
+  build(ws, 0, m, 0, rng);
+  Workspace::retire(std::move(ws_owner));
+
+  metrics::histogram("ml.tree.nodes", static_cast<double>(nodes_.size()));
+  metrics::histogram("ml.tree.depth", static_cast<double>(depth_));
+}
+
+std::int32_t DecisionTreeRegressor::build(Workspace& ws, std::size_t begin,
+                                          std::size_t end, int depth,
+                                          Rng& rng) {
+  const std::size_t n = end - begin;
+  depth_ = std::max(depth_, depth);
+  const int buf = depth & 1; // which stream buffer holds this node
+
+  // Node statistics accumulate over ws.indices order — the same
+  // std::partition-produced ordering the seed iterates — so leaf means are
+  // bit-identical even though split scanning runs on the sorted streams.
   double sum = 0.0;
   double sum_sq = 0.0;
   for (std::size_t i = begin; i < end; ++i) {
-    const double v = y[indices[i]];
+    const double v = ws.targets[ws.indices[i]];
     sum += v;
     sum_sq += v * v;
   }
@@ -47,7 +457,7 @@ std::int32_t DecisionTreeRegressor::build(const Matrix& x,
   const double sse = sum_sq - sum * mean; // total squared error around mean
 
   const auto make_leaf = [&] {
-    nodes_.push_back(Node{-1, 0.0, -1, -1, mean});
+    nodes_.push_back(TreeNode{-1, 0.0, -1, -1, mean});
     return static_cast<std::int32_t>(nodes_.size() - 1);
   };
 
@@ -58,60 +468,47 @@ std::int32_t DecisionTreeRegressor::build(const Matrix& x,
   }
 
   // Candidate features: all, or a random subset without replacement.
-  const std::size_t k = x.cols();
-  std::vector<std::size_t> features(k);
-  std::iota(features.begin(), features.end(), 0);
+  const std::size_t k = ws.k;
+  std::iota(ws.features.begin(), ws.features.end(), std::size_t{0});
   std::size_t tries = k;
   if (params_.max_features > 0 &&
       static_cast<std::size_t>(params_.max_features) < k) {
     tries = static_cast<std::size_t>(params_.max_features);
     for (std::size_t i = 0; i < tries; ++i) {
       const std::size_t j = i + rng.uniform_int(k - i);
-      std::swap(features[i], features[j]);
+      std::swap(ws.features[i], ws.features[j]);
+    }
+  }
+
+  // Scan candidates into per-feature slots, then reduce in candidate
+  // order — identical results whether the scans ran serially or fanned
+  // out across the pool.
+  const bool parallel = n >= kParallelNodeMinSamples && tries >= 2;
+  const auto scan_one = [&](std::size_t fi) {
+    const std::size_t f = ws.features[fi];
+    ws.cand[fi] =
+        scan_feature(ws.stream_value(buf, f) + begin,
+                     ws.stream_index(buf, f) + begin, ws.targets.data(), n,
+                     ws.min_leaf, sum, sum_sq, sse);
+  };
+  if (parallel) {
+    parallel_for(ws.pool != nullptr ? *ws.pool : ThreadPool::global(), 0,
+                 tries, scan_one);
+  } else {
+    for (std::size_t fi = 0; fi < tries; ++fi) {
+      scan_one(fi);
     }
   }
 
   int best_feature = -1;
   double best_threshold = 0.0;
   double best_score = sse; // must strictly improve on no-split
-  const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
-
-  std::vector<std::pair<double, double>> column(n); // (feature value, target)
   for (std::size_t fi = 0; fi < tries; ++fi) {
-    const std::size_t f = features[fi];
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t idx = indices[begin + i];
-      column[i] = {x(idx, f), y[idx]};
-    }
-    std::sort(column.begin(), column.end());
-    if (column.front().first == column.back().first) {
-      continue; // constant feature in this node
-    }
-    double left_sum = 0.0;
-    double left_sq = 0.0;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      left_sum += column[i].second;
-      left_sq += column[i].second * column[i].second;
-      const std::size_t nl = i + 1;
-      const std::size_t nr = n - nl;
-      if (nl < min_leaf || nr < min_leaf) {
-        continue;
-      }
-      if (column[i].first == column[i + 1].first) {
-        continue; // cannot split between equal values
-      }
-      const double right_sum = sum - left_sum;
-      const double right_sq = sum_sq - left_sq;
-      const double sse_left =
-          left_sq - left_sum * left_sum / static_cast<double>(nl);
-      const double sse_right =
-          right_sq - right_sum * right_sum / static_cast<double>(nr);
-      const double score = sse_left + sse_right;
-      if (score < best_score - 1e-12) {
-        best_score = score;
-        best_feature = static_cast<int>(f);
-        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
-      }
+    const Candidate& c = ws.cand[fi];
+    if (c.valid && c.score < best_score - 1e-12) {
+      best_score = c.score;
+      best_feature = static_cast<int>(ws.features[fi]);
+      best_threshold = c.threshold;
     }
   }
 
@@ -119,21 +516,87 @@ std::int32_t DecisionTreeRegressor::build(const Matrix& x,
     return make_leaf();
   }
 
-  // Partition [begin, end) by the chosen split.
-  const auto mid_it = std::partition(
-      indices.begin() + static_cast<std::ptrdiff_t>(begin),
-      indices.begin() + static_cast<std::ptrdiff_t>(end),
-      [&](std::size_t idx) {
-        return x(idx, static_cast<std::size_t>(best_feature)) <= best_threshold;
-      });
-  const auto mid =
-      static_cast<std::size_t>(mid_it - indices.begin());
-  DSEM_ASSERT(mid > begin && mid < end, "degenerate partition");
+  // Mark each sample's side from the winning stream (its `value` is the
+  // same double the seed's predicate read from the matrix), then keep both
+  // orderings consistent: std::partition on `indices` reproduces the
+  // seed's node ordering, and a stable partition of every sorted stream
+  // into the other buffer preserves (value, target, row) order within
+  // each child.
+  const double* chosen_value =
+      ws.stream_value(buf, static_cast<std::size_t>(best_feature));
+  const std::uint32_t* chosen_index =
+      ws.stream_index(buf, static_cast<std::size_t>(best_feature));
+  std::size_t nl = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const bool left = chosen_value[i] <= best_threshold;
+    ws.go_left[chosen_index[i]] = left ? 1 : 0;
+    nl += left ? 1 : 0;
+  }
+  DSEM_ASSERT(nl > 0 && nl < n, "degenerate partition");
+  const std::size_t mid = begin + nl;
+
+  const int other = buf ^ 1;
+  const auto partition_stream = [&](std::size_t f) {
+    const double* sv = ws.stream_value(buf, f);
+    const std::uint32_t* si = ws.stream_index(buf, f);
+    double* lv = ws.stream_value(other, f);
+    std::uint32_t* li = ws.stream_index(other, f);
+    std::size_t wl = begin;
+    std::size_t wr = mid;
+    for (std::size_t i = begin; i < end; ++i) {
+      // Branchless cursor pick: which side an entry lands on is random
+      // enough that a conditional branch here mispredicts about half the
+      // time, which dominates the copy itself.
+      const std::size_t left = ws.go_left[si[i]];
+      const std::size_t w = left != 0 ? wl : wr;
+      lv[w] = sv[i];
+      li[w] = si[i];
+      wl += left;
+      wr += std::size_t{1} - left;
+    }
+    DSEM_ASSERT(wl == mid && wr == end, "stream partition mismatch");
+  };
+  if (n >= kParallelNodeMinSamples && k >= 2) {
+    parallel_for(ws.pool != nullptr ? *ws.pool : ThreadPool::global(), 0, k,
+                 partition_stream);
+  } else {
+    for (std::size_t f = 0; f < k; ++f) {
+      partition_stream(f);
+    }
+  }
+
+  // Partition `indices` exactly as std::partition would — its (unspecified
+  // but deterministic) two-pointer pairing is this tree's node ordering,
+  // inherited from the seed. That loop swaps the i-th wrong-side entry
+  // found scanning forward through what becomes the left span with the
+  // i-th wrong-side entry found scanning backward through what becomes the
+  // right span; every pair straddles `mid` and both scans find the same
+  // number of them. Collecting the two position lists with branchless
+  // compactions and then swapping pairwise reproduces that output
+  // byte-for-byte while replacing two find loops that mispredict on every
+  // coin-flip element with straight-line stores.
+  {
+    std::uint32_t* idx = ws.indices.data();
+    std::size_t nmis = 0;
+    for (std::size_t i = begin; i < mid; ++i) {
+      ws.swap_l[nmis] = static_cast<std::uint32_t>(i);
+      nmis += std::size_t{1} - ws.go_left[idx[i]];
+    }
+    std::size_t nfit = 0;
+    for (std::size_t i = end; i-- > mid;) {
+      ws.swap_r[nfit] = static_cast<std::uint32_t>(i);
+      nfit += ws.go_left[idx[i]];
+    }
+    DSEM_ASSERT(nmis == nfit, "stream/index partition mismatch");
+    for (std::size_t s = 0; s < nmis; ++s) {
+      std::swap(idx[ws.swap_l[s]], idx[ws.swap_r[s]]);
+    }
+  }
 
   const auto node_id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(Node{best_feature, best_threshold, -1, -1, mean});
-  const std::int32_t left = build(x, y, indices, begin, mid, depth + 1, rng);
-  const std::int32_t right = build(x, y, indices, mid, end, depth + 1, rng);
+  nodes_.push_back(TreeNode{best_feature, best_threshold, -1, -1, mean});
+  const std::int32_t left = build(ws, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(ws, mid, end, depth + 1, rng);
   nodes_[static_cast<std::size_t>(node_id)].left = left;
   nodes_[static_cast<std::size_t>(node_id)].right = right;
   return node_id;
@@ -143,7 +606,7 @@ double DecisionTreeRegressor::predict_one(std::span<const double> x) const {
   DSEM_ENSURE(!nodes_.empty(), "predict on unfitted DecisionTreeRegressor");
   std::size_t node = 0;
   for (;;) {
-    const Node& n = nodes_[node];
+    const TreeNode& n = nodes_[node];
     if (n.feature < 0) {
       return n.value;
     }

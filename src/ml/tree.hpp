@@ -1,11 +1,22 @@
 // CART regression tree: greedy variance-reduction splits, optional
 // per-node feature subsampling (the randomness random forests need).
+//
+// Split finding runs on pre-sorted feature order (DESIGN.md §7.10): fit()
+// sorts every feature once by (value, target, row) and the recursion
+// maintains that order down both children with a stable partition, so no
+// node ever sorts. Candidate-feature scans are independent and reduce in
+// candidate order, which lets large nodes fan the scan out across the
+// ThreadPool without changing a single chosen split.
 #pragma once
 
 #include <cstdint>
 
 #include "common/rng.hpp"
 #include "ml/regressor.hpp"
+
+namespace dsem {
+class ThreadPool;
+}
 
 namespace dsem::ml {
 
@@ -15,7 +26,40 @@ struct TreeParams {
   int min_samples_leaf = 1;   ///< each side of a split keeps at least this
   int max_features = 0;       ///< features tried per node; 0 = all
   std::uint64_t seed = 17;    ///< for feature subsampling
+  /// Pool for the candidate-feature scan and order maintenance at large
+  /// nodes; nullptr = the global pool. Pool size never affects the fitted
+  /// tree (every parallel unit writes its own pre-sized slot).
+  ThreadPool* pool = nullptr;
 };
+
+/// One node of a fitted tree. Leaves have feature == -1 and carry `value`;
+/// interior nodes route x[feature] <= threshold left, else right.
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double value = 0.0;
+};
+
+namespace detail {
+
+/// Per-feature sort of a training set by (value, target, row), stored
+/// feature-major: order[f*n + i] is the row holding the i-th smallest
+/// value of feature f, value[f*n + i] that value. Built once per dataset;
+/// a forest shares one Presorted across all of its trees, turning each
+/// bootstrap re-sort into an O(n) multiplicity expansion of this order.
+struct Presorted {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<double> value;
+  std::vector<std::uint32_t> row;
+
+  static Presorted build(const Matrix& x, std::span<const double> y,
+                         ThreadPool* pool);
+};
+
+} // namespace detail
 
 class DecisionTreeRegressor final : public Regressor {
 public:
@@ -28,26 +72,28 @@ public:
   }
   std::string name() const override { return "DecisionTree"; }
 
+  /// Fits on a resample of a pre-sorted dataset — the random-forest fast
+  /// path. `sample` lists source rows (duplicates allowed, as bootstrap
+  /// resampling produces); empty means the identity sample. Equivalent to
+  /// fit(x.gather_rows(sample), y[sample]) but re-sorts each feature in
+  /// O(n) from `ps` instead of O(n log n) from scratch.
+  void fit_presorted(const detail::Presorted& ps, std::span<const double> y,
+                     std::span<const std::size_t> sample);
+
   const TreeParams& params() const noexcept { return params_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   int depth() const noexcept { return depth_; }
+  /// The fitted node array (preorder; index 0 is the root).
+  std::span<const TreeNode> nodes() const noexcept { return nodes_; }
 
 private:
-  struct Node {
-    // Leaves have feature == -1 and carry `value`.
-    int feature = -1;
-    double threshold = 0.0;
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    double value = 0.0;
-  };
+  struct Workspace;
 
-  std::int32_t build(const Matrix& x, std::span<const double> y,
-                     std::vector<std::size_t>& indices, std::size_t begin,
-                     std::size_t end, int depth, Rng& rng);
+  std::int32_t build(Workspace& ws, std::size_t begin, std::size_t end,
+                     int depth, Rng& rng);
 
   TreeParams params_;
-  std::vector<Node> nodes_;
+  std::vector<TreeNode> nodes_;
   int depth_ = 0;
 };
 

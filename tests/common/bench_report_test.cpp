@@ -177,6 +177,25 @@ TEST(BenchCompare, PrintSummarizesVerdict) {
   EXPECT_NE(ok_os.str().find("PASS"), std::string::npos) << ok_os.str();
 }
 
+TEST(BenchCompare, MatchPrefixSelectsStrictZone) {
+  const std::vector<Delta> deltas = {
+      {"perf_ml/BM_ForestFit/20000", 100.0, 200.0, 2.0},
+      {"perf_sim/BM_DeviceLaunch", 100.0, 200.0, 2.0},
+      {"perf_ml/BM_SvrFit/800", 100.0, 200.0, 2.0},
+  };
+  const std::vector<Delta> strict = match_prefix(deltas, "perf_ml/");
+  ASSERT_EQ(strict.size(), 2u);
+  EXPECT_EQ(strict[0].name, "perf_ml/BM_ForestFit/20000");
+  EXPECT_EQ(strict[1].name, "perf_ml/BM_SvrFit/800");
+
+  EXPECT_TRUE(match_prefix(deltas, "perf_cronos/").empty());
+  // A prefix must be a *prefix*, not a substring.
+  EXPECT_TRUE(match_prefix(deltas, "BM_ForestFit").empty());
+  // An empty prefix matches nothing: otherwise a misconfigured gate would
+  // silently strict-fail every benchmark.
+  EXPECT_TRUE(match_prefix(deltas, "").empty());
+}
+
 // --- file fixtures (the same ones the ctest exit-code tests use) -----------
 
 TEST(BenchReportFiles, CommittedFixturesValidateAndCompare) {
@@ -195,6 +214,25 @@ TEST(BenchReportFiles, CommittedFixturesValidateAndCompare) {
   EXPECT_FALSE(result.ok());
   ASSERT_EQ(result.regressions.size(), 1u);
   EXPECT_EQ(result.regressions[0].name, "perf_sim/BM_DeviceLaunch");
+}
+
+TEST(BenchReportFiles, MlRegressionFixtureHitsTheStrictZone) {
+  const json::Value baseline = load_file(data_path("bench_baseline_sample.json"));
+  const json::Value regressed =
+      load_file(data_path("bench_regressed_ml_sample.json"));
+  validate(regressed);
+
+  const CompareResult result = compare(baseline, regressed);
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].name, "perf_ml/BM_ForestFit");
+  EXPECT_EQ(match_prefix(result.regressions, "perf_ml/").size(), 1u);
+
+  // The sim-only regression fixture must NOT trip the strict zone — that
+  // pair is the "warns elsewhere" ctest fixture.
+  const CompareResult sim_only =
+      compare(baseline, load_file(data_path("bench_regressed_sample.json")));
+  EXPECT_FALSE(sim_only.ok());
+  EXPECT_TRUE(match_prefix(sim_only.regressions, "perf_ml/").empty());
 }
 
 TEST(BenchReportFiles, LoadFileThrowsOnMissingPath) {

@@ -199,10 +199,11 @@ TEST(ThreadPool, TryRunOneStealsQueuedTask) {
 }
 
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
-  // A single-worker pool forces the blocked outer chunks to execute the
-  // inner chunks themselves (help-while-waiting); without work stealing
-  // this test would hang.
-  ThreadPool pool(1);
+  // A two-worker pool (single-worker pools run parallel_for inline) with
+  // more chunks than workers forces the blocked outer chunks to execute
+  // the inner chunks themselves (help-while-waiting); without work
+  // stealing this test would hang.
+  ThreadPool pool(2);
   std::atomic<int> count{0};
   parallel_for(
       pool, 0, 4,

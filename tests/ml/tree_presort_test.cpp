@@ -1,0 +1,382 @@
+// Split-finder equivalence and determinism for the pre-sorted training
+// path (DESIGN.md §7.10).
+//
+// `ReferenceTree` below is the seed algorithm verbatim — per-node copies
+// of (value, target) pairs, std::sort, sequential candidate chain — kept
+// here as the executable specification. The production tree must emit a
+// bit-identical node array (features, thresholds, leaf means as exact
+// doubles) on data engineered to stress the rewrite: heavy value ties,
+// constant features, duplicated rows, feature subsampling, min-leaf
+// boundaries.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/forest.hpp"
+#include "ml/svr.hpp"
+#include "ml/tree.hpp"
+
+namespace dsem::ml {
+namespace {
+
+// --- Reference implementation (the seed's fit, verbatim) --------------------
+
+class ReferenceTree {
+public:
+  explicit ReferenceTree(TreeParams params) : params_(params) {}
+
+  void fit(const Matrix& x, std::span<const double> y) {
+    nodes_.clear();
+    depth_ = 0;
+    std::vector<std::size_t> indices(x.rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    Rng rng(params_.seed);
+    build(x, y, indices, 0, indices.size(), 0, rng);
+  }
+
+  std::span<const TreeNode> nodes() const { return nodes_; }
+  int depth() const { return depth_; }
+
+private:
+  std::int32_t build(const Matrix& x, std::span<const double> y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, Rng& rng) {
+    depth_ = std::max(depth_, depth);
+    const std::size_t n = end - begin;
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = y[indices[i]];
+      sum += v;
+      sum_sq += v * v;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double sse = sum_sq - sum * mean;
+
+    const auto make_leaf = [&] {
+      nodes_.push_back(TreeNode{-1, 0.0, -1, -1, mean});
+      return static_cast<std::int32_t>(nodes_.size() - 1);
+    };
+
+    const bool depth_capped =
+        params_.max_depth > 0 && depth >= params_.max_depth;
+    if (n < static_cast<std::size_t>(params_.min_samples_split) ||
+        depth_capped || sse <= 1e-12) {
+      return make_leaf();
+    }
+
+    const std::size_t k = x.cols();
+    std::vector<std::size_t> features(k);
+    std::iota(features.begin(), features.end(), 0);
+    std::size_t tries = k;
+    if (params_.max_features > 0 &&
+        static_cast<std::size_t>(params_.max_features) < k) {
+      tries = static_cast<std::size_t>(params_.max_features);
+      for (std::size_t i = 0; i < tries; ++i) {
+        const std::size_t j = i + rng.uniform_int(k - i);
+        std::swap(features[i], features[j]);
+      }
+    }
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_score = sse;
+    const auto min_leaf = static_cast<std::size_t>(params_.min_samples_leaf);
+
+    std::vector<std::pair<double, double>> column(n);
+    for (std::size_t fi = 0; fi < tries; ++fi) {
+      const std::size_t f = features[fi];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = indices[begin + i];
+        column[i] = {x(idx, f), y[idx]};
+      }
+      std::sort(column.begin(), column.end());
+      if (column.front().first == column.back().first) {
+        continue;
+      }
+      double left_sum = 0.0;
+      double left_sq = 0.0;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += column[i].second;
+        left_sq += column[i].second * column[i].second;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < min_leaf || nr < min_leaf) {
+          continue;
+        }
+        if (column[i].first == column[i + 1].first) {
+          continue;
+        }
+        const double right_sum = sum - left_sum;
+        const double right_sq = sum_sq - left_sq;
+        const double sse_left =
+            left_sq - left_sum * left_sum / static_cast<double>(nl);
+        const double sse_right =
+            right_sq - right_sum * right_sum / static_cast<double>(nr);
+        const double score = sse_left + sse_right;
+        if (score < best_score - 1e-12) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      return make_leaf();
+    }
+
+    const auto mid_it =
+        std::partition(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                       indices.begin() + static_cast<std::ptrdiff_t>(end),
+                       [&](std::size_t idx) {
+                         return x(idx, static_cast<std::size_t>(
+                                           best_feature)) <= best_threshold;
+                       });
+    const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+
+    const auto node_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(TreeNode{best_feature, best_threshold, -1, -1, mean});
+    const std::int32_t left = build(x, y, indices, begin, mid, depth + 1, rng);
+    const std::int32_t right = build(x, y, indices, mid, end, depth + 1, rng);
+    nodes_[static_cast<std::size_t>(node_id)].left = left;
+    nodes_[static_cast<std::size_t>(node_id)].right = right;
+    return node_id;
+  }
+
+  TreeParams params_;
+  std::vector<TreeNode> nodes_;
+  int depth_ = 0;
+};
+
+// Random dataset with engineered pathologies: values snapped to a coarse
+// grid (ties within and across rows), one constant feature, one feature
+// duplicating another, and occasional duplicated targets.
+std::pair<Matrix, std::vector<double>> tricky_data(std::size_t n,
+                                                   std::size_t k,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, k);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // ~8 distinct values per feature: plenty of exact ties.
+      x(i, j) = std::floor(rng.uniform(0.0, 8.0));
+    }
+    if (k >= 2) {
+      x(i, k - 2) = 3.5; // constant feature
+    }
+    if (k >= 3) {
+      x(i, k - 1) = x(i, 0); // duplicate of feature 0
+    }
+    y[i] = x(i, 0) * 2.0 - x(i, 1 % k) + std::floor(rng.uniform(0.0, 4.0));
+  }
+  return {std::move(x), std::move(y)};
+}
+
+void expect_identical_trees(const ReferenceTree& ref,
+                            const DecisionTreeRegressor& tree,
+                            std::uint64_t seed) {
+  ASSERT_EQ(ref.nodes().size(), tree.node_count()) << "seed " << seed;
+  EXPECT_EQ(ref.depth(), tree.depth()) << "seed " << seed;
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const TreeNode& a = ref.nodes()[i];
+    const TreeNode& b = tree.nodes()[i];
+    ASSERT_EQ(a.feature, b.feature) << "node " << i << " seed " << seed;
+    ASSERT_EQ(a.left, b.left) << "node " << i << " seed " << seed;
+    ASSERT_EQ(a.right, b.right) << "node " << i << " seed " << seed;
+    // Bitwise: thresholds and leaf means must be the exact same doubles.
+    ASSERT_EQ(a.threshold, b.threshold) << "node " << i << " seed " << seed;
+    ASSERT_EQ(a.value, b.value) << "node " << i << " seed " << seed;
+  }
+}
+
+// --- Equivalence property tests ---------------------------------------------
+
+TEST(TreePresort, MatchesReferenceOnRandomTrickyData) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::size_t n = 20 + static_cast<std::size_t>(seed % 7) * 33;
+    const std::size_t k = 3 + seed % 3;
+
+    TreeParams params;
+    params.seed = seed * 17;
+    if (seed % 3 == 1) {
+      params.min_samples_leaf = 3;
+    }
+    if (seed % 4 == 2) {
+      params.max_depth = 4;
+    }
+    if (seed % 5 == 3) {
+      params.max_features = 2; // exercises the RNG subsampling path
+    }
+
+    const auto [x, y] = tricky_data(n, k, seed);
+    ReferenceTree ref(params);
+    ref.fit(x, y);
+    DecisionTreeRegressor tree(params);
+    tree.fit(x, y);
+    expect_identical_trees(ref, tree, seed);
+
+    // Same traversal, same leaves: predictions are bit-identical too.
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      double out = 0.0;
+      std::size_t node = 0;
+      for (;;) {
+        const TreeNode& nd = ref.nodes()[node];
+        if (nd.feature < 0) {
+          out = nd.value;
+          break;
+        }
+        node = static_cast<std::size_t>(
+            x(r, static_cast<std::size_t>(nd.feature)) <= nd.threshold
+                ? nd.left
+                : nd.right);
+      }
+      ASSERT_EQ(out, tree.predict_one(x.row(r))) << "row " << r;
+    }
+  }
+}
+
+TEST(TreePresort, MatchesReferenceOnContinuousData) {
+  // No ties at all: the pure fast path.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 200;
+    Matrix x(n, 4);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        x(i, j) = rng.uniform(-10.0, 10.0);
+      }
+      y[i] = std::sin(x(i, 0)) + 0.2 * x(i, 1) * x(i, 2) +
+             rng.normal(0.0, 0.05);
+    }
+    TreeParams params;
+    params.seed = seed;
+    ReferenceTree ref(params);
+    ref.fit(x, y);
+    DecisionTreeRegressor tree(params);
+    tree.fit(x, y);
+    expect_identical_trees(ref, tree, seed);
+  }
+}
+
+TEST(TreePresort, BootstrapExpansionMatchesGatheredFit) {
+  // fit_presorted(ps, y, sample) must equal fit() on the materialized
+  // resample — the forest fast path vs the seed's gather_rows route.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto [x, y] = tricky_data(120, 4, seed);
+    Rng rng(seed * 31);
+    std::vector<std::size_t> sample(x.rows());
+    for (auto& idx : sample) {
+      idx = rng.uniform_int(x.rows());
+    }
+
+    TreeParams params;
+    params.seed = seed;
+    const auto ps = detail::Presorted::build(x, y, nullptr);
+    DecisionTreeRegressor fast(params);
+    fast.fit_presorted(ps, y, sample);
+
+    const Matrix xb = x.gather_rows(sample);
+    std::vector<double> yb(sample.size());
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      yb[i] = y[sample[i]];
+    }
+    DecisionTreeRegressor direct(params);
+    direct.fit(xb, yb);
+
+    ASSERT_EQ(direct.node_count(), fast.node_count()) << "seed " << seed;
+    for (std::size_t i = 0; i < fast.node_count(); ++i) {
+      const TreeNode& a = direct.nodes()[i];
+      const TreeNode& b = fast.nodes()[i];
+      ASSERT_EQ(a.feature, b.feature) << "node " << i;
+      ASSERT_EQ(a.threshold, b.threshold) << "node " << i;
+      ASSERT_EQ(a.value, b.value) << "node " << i;
+      ASSERT_EQ(a.left, b.left) << "node " << i;
+      ASSERT_EQ(a.right, b.right) << "node " << i;
+    }
+  }
+}
+
+// --- Pool-size determinism --------------------------------------------------
+
+// Big enough that nodes cross kParallelNodeMinSamples and the candidate
+// scan actually fans out.
+std::pair<Matrix, std::vector<double>> big_data(std::size_t n) {
+  Rng rng(7);
+  Matrix x(n, 4);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      x(i, j) = rng.uniform(0.0, 10.0);
+      acc += (j + 1.0) * x(i, j);
+    }
+    y[i] = acc + std::sin(acc) + rng.normal(0.0, 0.1);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(TreePresort, ForestIsIdenticalForPools1_2_8) {
+  const auto [x, y] = big_data(6000);
+  std::vector<std::vector<double>> outputs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ForestParams params;
+    params.n_estimators = 5;
+    params.pool = &pool;
+    RandomForestRegressor forest(params);
+    forest.fit(x, y);
+    outputs.push_back(forest.predict_many(x));
+  }
+  ASSERT_EQ(outputs[0].size(), x.rows());
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(TreePresort, SvrIsIdenticalForPools1_2_8) {
+  const auto [x, y] = big_data(300);
+  std::vector<std::vector<double>> outputs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SvrRbf svr(100.0, 0.01, 1.0, 50, 1e-5, &pool);
+    svr.fit(x, y);
+    outputs.push_back(svr.predict(x));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+// --- Batch prediction -------------------------------------------------------
+
+TEST(PredictMany, MatchesPredictOneBitwise) {
+  const auto [x, y] = big_data(600);
+  ForestParams params;
+  params.n_estimators = 8;
+  RandomForestRegressor forest(params);
+  forest.fit(x, y);
+
+  const std::vector<double> batch = forest.predict_many(x);
+  ASSERT_EQ(batch.size(), x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    ASSERT_EQ(batch[r], forest.predict_one(x.row(r))) << "row " << r;
+  }
+
+  SvrRbf svr(100.0, 0.01, 1.0, 50);
+  svr.fit(x, y);
+  const std::vector<double> svr_batch = svr.predict_many(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    ASSERT_EQ(svr_batch[r], svr.predict_one(x.row(r))) << "row " << r;
+  }
+}
+
+} // namespace
+} // namespace dsem::ml
