@@ -1,0 +1,120 @@
+// Serving-path performance benchmarks: the full advisor loop over a
+// mixed LiGen/Cronos Poisson stream, the batched-inference hot path, and
+// the traffic generator itself.
+//
+// BM_ServeMixed reports the paper-scale serving run (10^5 requests) and
+// exports its simulated latency percentiles as user counters ending in
+// _ns — perf_report lifts those into standalone BENCH entries
+// (perf_advisor/BM_ServeMixed:p50_latency_ns, ...). The percentiles are
+// deterministic (simulated time), so they gate answer-quality drift
+// exactly; wall-clock throughput lives in the benchmark's own real_time.
+#include <benchmark/benchmark.h>
+
+#include "serve/loop.hpp"
+#include "serve/train.hpp"
+#include "sim/device.hpp"
+#include "synergy/device.hpp"
+
+namespace {
+
+using namespace dsem;
+
+/// Trained once per process: both applications on the simulated V100,
+/// the example's full training grids at 2 repetitions.
+const serve::ModelRegistry& shared_registry() {
+  static serve::ModelRegistry* registry = [] {
+    sim::Device sim_dev(sim::v100(), sim::NoiseConfig{}, 0xAD51);
+    synergy::Device device(sim_dev);
+    serve::TrainConfig config;
+    config.sweep.repetitions = 2;
+    config.origin = "perf_advisor";
+    auto* r = new serve::ModelRegistry;
+    r->put(serve::train_domain_specific(device, {"cronos", "v100"}, config));
+    r->put(serve::train_domain_specific(device, {"ligen", "v100"}, config));
+    return r;
+  }();
+  return *registry;
+}
+
+serve::TrafficConfig traffic_config(std::size_t requests,
+                                    std::size_t population) {
+  serve::TrafficConfig traffic;
+  traffic.requests = requests;
+  traffic.arrival_rate_hz = 2000.0;
+  traffic.population = population;
+  return traffic;
+}
+
+void BM_ServeMixed(benchmark::State& state) {
+  const auto& registry = shared_registry();
+  const auto trace = serve::generate_trace(
+      traffic_config(static_cast<std::size_t>(state.range(0)), 512));
+  serve::ServeStats stats;
+  for (auto _ : state) {
+    serve::ServeLoop loop(registry, serve::ServeConfig{});
+    benchmark::DoNotOptimize(loop.run(trace));
+    stats = loop.stats();
+  }
+  state.counters["p50_latency_ns"] = stats.p50_latency_s * 1e9;
+  state.counters["p99_latency_ns"] = stats.p99_latency_s * 1e9;
+  state.counters["max_latency_ns"] = stats.max_latency_s * 1e9;
+  state.counters["throughput_rps"] = stats.throughput_rps();
+  state.counters["hit_rate"] = stats.hit_rate();
+  state.counters["shed"] = static_cast<double>(stats.shed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ServeMixed)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+/// Hit-dominated regime: a small population makes almost every request a
+/// cache hit, isolating the loop/cache overhead from model inference.
+void BM_ServeCacheHot(benchmark::State& state) {
+  const auto& registry = shared_registry();
+  const auto trace = serve::generate_trace(traffic_config(100000, 16));
+  for (auto _ : state) {
+    serve::ServeLoop loop(registry, serve::ServeConfig{});
+    benchmark::DoNotOptimize(loop.run(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_ServeCacheHot)->Unit(benchmark::kMillisecond);
+
+/// The batched-inference hot path alone: one advise_batch over the
+/// frequency grid, no cache, no queueing.
+void BM_AdviseBatch(benchmark::State& state) {
+  const auto& registry = shared_registry();
+  const auto artifact =
+      registry.require(serve::ModelKey{"cronos", "v100"});
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  // Over-generate, keep the cronos half, trim to the target batch size.
+  const auto trace = serve::generate_trace(traffic_config(4 * batch, 64));
+  std::vector<serve::AdviseRequest> requests;
+  for (const serve::TimedRequest& timed : trace) {
+    if (timed.request.application == "cronos" && requests.size() < batch) {
+      requests.push_back(timed.request);
+    }
+  }
+  const serve::Advisor advisor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(advisor.advise_batch(*artifact, requests));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_AdviseBatch)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const auto config =
+      traffic_config(static_cast<std::size_t>(state.range(0)), 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::generate_trace(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateTrace)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -3,44 +3,36 @@
 // domain-specific model on a quick input sweep and recommend a core
 // frequency (what SYnergy's per-kernel frequency selection would consume).
 //
+// Three modes:
+//  - one-shot (default): train (or load, --model-in) a model, answer one
+//    query, verify the answer against measurement.
+//  - --train-out PATH: additionally save the trained model as a
+//    "dsem-model-v1" artifact; later runs pass --model-in PATH to skip
+//    the training sweep entirely (train once, load anywhere).
+//  - --serve: replay a deterministic Poisson request stream (LiGen +
+//    Cronos mix) through the serve:: loop — batched inference, LRU
+//    answer cache, admission control — and report latency percentiles,
+//    throughput, and hit/shed rates.
+//
 // Doubles as the fault-injection demo: --fault-rate (and the per-kind
 // flags, see --help) make the simulated device fail transiently; the
 // pipeline retries, records exhausted grid points as failed, and prints
 // the recovery accounting at the end.
 #include <chrono>
 #include <iostream>
+#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
 #include "core/sweep_report.hpp"
+#include "serve/loop.hpp"
+#include "serve/train.hpp"
 
 namespace {
 
 using namespace dsem;
-
-std::vector<std::unique_ptr<core::Workload>> training_set(
-    const std::string& app) {
-  std::vector<std::unique_ptr<core::Workload>> out;
-  if (app == "cronos") {
-    for (int n : {10, 20, 40, 80, 120, 160}) {
-      const int side = std::max(4, n * 2 / 5);
-      out.push_back(std::make_unique<core::CronosWorkload>(
-          cronos::GridDims{n, side, side}, 10));
-    }
-  } else {
-    for (int ligands : {16, 256, 1024, 4096, 10000}) {
-      for (int atoms : {31, 63, 89}) {
-        for (int frags : {4, 8, 20}) {
-          out.push_back(
-              std::make_unique<core::LigenWorkload>(ligands, atoms, frags));
-        }
-      }
-    }
-  }
-  return out;
-}
 
 std::unique_ptr<core::Workload> parse_target(const std::string& app,
                                              const std::string& input) {
@@ -65,6 +57,86 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+std::vector<std::string> split_paths(const std::string& list) {
+  std::vector<std::string> out;
+  std::istringstream stream(list);
+  std::string path;
+  while (std::getline(stream, path, ',')) {
+    if (!path.empty()) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+/// Returns the artifact for (app, device_name), loading preferred over
+/// training: --model-in artifacts were registered up front, so a hit
+/// here skips the training sweep entirely.
+std::shared_ptr<const serve::ModelArtifact>
+obtain_model(serve::ModelRegistry& registry, const std::string& app,
+             const std::string& device_name, synergy::Device& device,
+             const core::SweepOptions& sweep, core::SweepReport& report) {
+  const serve::ModelKey key{app, device_name};
+  if (auto loaded = registry.get(key)) {
+    std::cout << "using loaded model " << key.to_string() << " ("
+              << loaded->origin << ")\n";
+    return loaded;
+  }
+  std::cout << "profiling " << app << " training sweep on " << device.name()
+            << "...\n";
+  serve::TrainConfig train;
+  train.sweep = sweep;
+  train.origin = "frequency_advisor";
+  const auto start = std::chrono::steady_clock::now();
+  registry.put(serve::train_domain_specific(device, key, train));
+  report.add_phase("train " + app, seconds_since(start));
+  return registry.require(key);
+}
+
+void run_serve_mode(const CliParser& cli, serve::ModelRegistry& registry) {
+  serve::TrafficConfig traffic;
+  traffic.requests = static_cast<std::size_t>(cli.option_int("requests"));
+  traffic.arrival_rate_hz = cli.option_double("arrival-rate");
+  traffic.ligen_fraction = cli.option_double("ligen-fraction");
+  traffic.population = static_cast<std::size_t>(cli.option_int("population"));
+  traffic.seed = std::stoull(cli.option("traffic-seed"), nullptr, 0);
+
+  serve::ServeConfig config;
+  config.device = cli.option("device");
+  config.batch_size = static_cast<std::size_t>(cli.option_int("batch-size"));
+  config.admission_bound =
+      static_cast<std::size_t>(cli.option_int("admission-bound"));
+  config.cache_capacity =
+      static_cast<std::size_t>(cli.option_int("cache-capacity"));
+  config.cache_quant_step = cli.option_double("cache-quant");
+
+  std::cout << "generating " << traffic.requests << " requests ("
+            << fmt_percent(traffic.ligen_fraction) << " ligen, "
+            << fmt(traffic.arrival_rate_hz, 0) << " req/s)...\n";
+  const auto trace = serve::generate_trace(traffic);
+
+  serve::ServeLoop loop(registry, config);
+  loop.run(trace);
+  const serve::ServeStats& stats = loop.stats();
+
+  print_banner(std::cout, "serving summary");
+  std::cout << "requests          " << stats.requests << "\n"
+            << "served            " << stats.served << "\n"
+            << "shed              " << stats.shed << " ("
+            << fmt_percent(stats.shed_rate()) << ")\n"
+            << "cache hit rate    " << fmt_percent(stats.hit_rate()) << " ("
+            << stats.cache_hits << " hits, " << stats.cache_misses
+            << " misses)\n"
+            << "batches           " << stats.batches << "\n"
+            << "latency p50       " << fmt_g(stats.p50_latency_s) << " s\n"
+            << "latency p99       " << fmt_g(stats.p99_latency_s) << " s\n"
+            << "latency max       " << fmt_g(stats.max_latency_s) << " s\n"
+            << "simulated span    " << fmt_g(stats.sim_duration_s) << " s\n"
+            << "wall time         " << fmt_g(stats.wall_s) << " s\n"
+            << "throughput        " << fmt(stats.throughput_rps(), 0)
+            << " req/s (wall)\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +150,28 @@ int main(int argc, char** argv) {
   cli.add_option("max-slowdown", "acceptable performance loss, fraction",
                  "0.03");
   cli.add_option("device", "v100 | mi100", "v100");
+  cli.add_option("model-in",
+                 "comma-separated dsem-model-v1 artifacts to load "
+                 "(skips training for their (app, device) keys)",
+                 "");
+  cli.add_option("train-out",
+                 "save the target app's trained model artifact here", "");
+  cli.add_flag("serve", "replay a synthetic request stream instead of "
+                        "answering one query");
+  cli.add_option("requests", "serve: number of requests", "100000");
+  cli.add_option("arrival-rate", "serve: mean arrival rate, req/s", "2000");
+  cli.add_option("ligen-fraction", "serve: fraction of ligen requests",
+                 "0.5");
+  cli.add_option("population", "serve: distinct inputs per app", "512");
+  cli.add_option("traffic-seed", "serve: trace RNG seed", "0x5EedF00d");
+  cli.add_option("batch-size", "serve: max requests per dispatch", "64");
+  cli.add_option("admission-bound",
+                 "serve: waiting-queue bound (0 = unbounded)", "1024");
+  cli.add_option("cache-capacity", "serve: LRU answer-cache capacity "
+                                   "(0 = disabled)",
+                 "4096");
+  cli.add_option("cache-quant", "serve: cache-key feature quantization step",
+                 "1.0");
   core::add_fault_cli_options(cli);
   core::add_observability_cli_options(cli);
   if (!cli.parse(argc, argv)) {
@@ -86,24 +180,16 @@ int main(int argc, char** argv) {
   core::enable_observability_from_cli(cli);
   const std::string app = cli.option("app");
   DSEM_ENSURE(app == "cronos" || app == "ligen", "unknown app: " + app);
+  const std::string device_name = cli.option("device");
   const double max_slowdown = cli.option_double("max-slowdown");
   const sim::FaultConfig faults = core::fault_config_from_cli(cli);
   const core::RetryPolicy retry = core::retry_policy_from_cli(cli);
 
-  sim::Device sim_dev(cli.option("device") == "mi100" ? sim::mi100()
-                                                      : sim::v100(),
+  sim::Device sim_dev(device_name == "mi100" ? sim::mi100() : sim::v100(),
                       sim::NoiseConfig{}, 0xAD51);
   sim_dev.set_fault_config(faults);
   synergy::Device device(sim_dev);
 
-  std::cout << "profiling " << app << " training sweep on " << device.name()
-            << "...\n";
-  const auto workloads = training_set(app);
-  std::vector<double> train_freqs;
-  const auto all = device.supported_frequencies();
-  for (std::size_t i = 0; i < all.size(); i += 4) {
-    train_freqs.push_back(all[i]);
-  }
   core::SweepReport report;
   sim::ProfileCache cache;
   core::SweepOptions sweep_options;
@@ -111,46 +197,72 @@ int main(int argc, char** argv) {
   sweep_options.cache = &cache;
   sweep_options.retry = retry;
   sweep_options.report = &report;
-  const auto sweep_start = std::chrono::steady_clock::now();
-  const core::Dataset dataset =
-      core::build_dataset(device, workloads, sweep_options, train_freqs);
-  report.add_phase("training sweep", seconds_since(sweep_start));
 
-  const auto train_start = std::chrono::steady_clock::now();
-  core::DomainSpecificModel model;
-  model.train(dataset);
-  report.add_phase("model training", seconds_since(train_start));
+  serve::ModelRegistry registry;
+  for (const std::string& path : split_paths(cli.option("model-in"))) {
+    serve::ModelArtifact artifact = serve::ModelArtifact::load_file(path);
+    DSEM_ENSURE(artifact.key.device == device_name,
+                "artifact " + path + " was trained for device \"" +
+                    artifact.key.device + "\", not \"" + device_name + "\"");
+    std::cout << "loaded " << artifact.key.to_string() << " from " << path
+              << "\n";
+    registry.put(std::move(artifact));
+  }
+
+  if (cli.flag("serve")) {
+    // Mixed traffic needs a model per application in the mix.
+    const double ligen_fraction = cli.option_double("ligen-fraction");
+    if (ligen_fraction < 1.0) {
+      obtain_model(registry, "cronos", device_name, device, sweep_options,
+                   report);
+    }
+    if (ligen_fraction > 0.0) {
+      obtain_model(registry, "ligen", device_name, device, sweep_options,
+                   report);
+    }
+    if (const std::string out = cli.option("train-out"); !out.empty()) {
+      registry.require({app, device_name})->save_file(out);
+      std::cout << "saved " << app << "/" << device_name << " model to "
+                << out << "\n";
+    }
+    run_serve_mode(cli, registry);
+    core::print_sweep_report(std::cout, report);
+    core::write_observability_outputs(std::cout, cli, "frequency_advisor",
+                                      &report);
+    return 0;
+  }
+
+  const auto artifact =
+      obtain_model(registry, app, device_name, device, sweep_options, report);
+  if (const std::string out = cli.option("train-out"); !out.empty()) {
+    artifact->save_file(out);
+    std::cout << "saved " << app << "/" << device_name << " model to " << out
+              << "\n";
+  }
 
   const auto target = parse_target(app, cli.option("input"));
-  const core::Prediction pred = model.predict(
-      target->domain_features(), all, device.default_frequency());
-
-  const auto front = pred.pareto_indices();
-  std::size_t pick = front.back();
-  bool found = false;
-  for (std::size_t i : front) {
-    if (1.0 - pred.speedup[i] <= max_slowdown &&
-        (!found || pred.norm_energy[i] < pred.norm_energy[pick])) {
-      pick = i;
-      found = true;
-    }
-  }
+  serve::AdviseRequest request;
+  request.application = app;
+  request.features = target->domain_features();
+  request.max_slowdown = max_slowdown;
+  const serve::AdviseAnswer answer =
+      serve::Advisor{}.advise(*artifact, request);
 
   std::cout << "\ntarget " << target->name() << " on " << device.name()
             << " (policy: <= " << fmt_percent(max_slowdown)
             << " slowdown)\n";
-  std::cout << "recommended core frequency: " << fmt(pred.freqs_mhz[pick], 0)
+  std::cout << "recommended core frequency: " << fmt(answer.freq_mhz, 0)
             << " MHz\n  predicted energy  " << fmt_percent(
-                   pred.norm_energy[pick] - 1.0)
+                   answer.predicted_norm_energy - 1.0)
             << "\n  predicted runtime " << fmt_percent(
-                   1.0 / std::max(pred.speedup[pick], 1e-9) - 1.0)
+                   1.0 / std::max(answer.predicted_speedup, 1e-9) - 1.0)
             << "\n";
 
   const auto verify_start = std::chrono::steady_clock::now();
   const core::Measurement def =
       core::measure_default(device, *target, 5, &cache, retry, &report.retry);
   const core::Measurement at = core::measure(
-      device, *target, pred.freqs_mhz[pick], 5, &cache, retry, &report.retry);
+      device, *target, answer.freq_mhz, 5, &cache, retry, &report.retry);
   report.add_phase("verification", seconds_since(verify_start));
   std::cout << "verification against measurement:\n  measured energy  "
             << fmt_percent(at.energy_j / def.energy_j - 1.0)

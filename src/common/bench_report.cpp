@@ -88,11 +88,20 @@ std::size_t merge_google_benchmark(json::Value& report,
       continue;
     }
     const double to_ns = time_unit_to_ns(bm.at("time_unit").as_string());
-    add_entry(report, binary + "/" + bm.at("name").as_string(),
-              bm.at("real_time").as_number() * to_ns,
-              bm.at("cpu_time").as_number() * to_ns,
-              bm.at("iterations").as_number());
+    const std::string name = binary + "/" + bm.at("name").as_string();
+    const double iterations = bm.at("iterations").as_number();
+    add_entry(report, name, bm.at("real_time").as_number() * to_ns,
+              bm.at("cpu_time").as_number() * to_ns, iterations);
     ++merged;
+    // Lift *_ns user counters (already in nanoseconds by convention) into
+    // entries of their own so the compare gate tracks them individually.
+    for (const auto& [field, value] : bm.as_object()) {
+      if (field.size() > 3 && field.ends_with("_ns") && value.is_number()) {
+        add_entry(report, name + ":" + field, value.as_number(),
+                  value.as_number(), iterations);
+        ++merged;
+      }
+    }
   }
   return merged;
 }

@@ -48,8 +48,11 @@ void add_entry(json::Value& report, const std::string& name,
 /// Merges one Google Benchmark `--benchmark_out_format=json` document,
 /// prefixing entry names with "<binary>/". Aggregate rows (mean/median/
 /// stddev re-runs) are skipped; per-iteration rows are normalized to
-/// nanoseconds from the entry's time_unit. Returns the number of entries
-/// merged.
+/// nanoseconds from the entry's time_unit. User counters whose names end
+/// in "_ns" (already-nanosecond latencies like the serving percentiles)
+/// become standalone entries "<binary>/<benchmark>:<counter>" so the
+/// compare gate sees them individually; other counters stay embedded in
+/// the Google Benchmark file only. Returns the number of entries merged.
 std::size_t merge_google_benchmark(json::Value& report,
                                    const std::string& binary,
                                    const json::Value& gbench);

@@ -8,6 +8,7 @@
 #include "common/trace.hpp"
 #include "core/features.hpp"
 #include "core/pareto.hpp"
+#include "ml/serialize.hpp"
 
 namespace dsem::core {
 
@@ -63,6 +64,24 @@ void DomainSpecificModel::train(const Dataset& dataset,
   time_model_->fit(x, t);
   energy_model_->fit(x, e);
   trained_ = true;
+}
+
+json::Value DomainSpecificModel::to_json() const {
+  DSEM_ENSURE(trained_, "serialize of an untrained DomainSpecificModel");
+  auto out = json::Value::object();
+  out.set("log_targets", log_targets_);
+  out.set("time", ml::regressor_to_json(*time_model_));
+  out.set("energy", ml::regressor_to_json(*energy_model_));
+  return out;
+}
+
+DomainSpecificModel DomainSpecificModel::from_json(const json::Value& value) {
+  DomainSpecificModel model;
+  model.time_model_ = ml::regressor_from_json(value.at("time"));
+  model.energy_model_ = ml::regressor_from_json(value.at("energy"));
+  model.log_targets_ = value.at("log_targets").as_bool();
+  model.trained_ = true;
+  return model;
 }
 
 Prediction DomainSpecificModel::predict(std::span<const double> domain_features,

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "common/json.hpp"
 #include "core/dataset.hpp"
 #include "ml/forest.hpp"
 
@@ -53,6 +54,14 @@ public:
 
   const ml::Regressor& time_model() const { return *time_model_; }
   const ml::Regressor& energy_model() const { return *energy_model_; }
+  bool log_targets() const noexcept { return log_targets_; }
+
+  /// Serializes the trained model (both regressors, via ml/serialize) so
+  /// it can be stored in a "dsem-model-v1" artifact (serve/artifact.hpp).
+  /// Round-trips bit-identically: from_json(to_json()) predicts the same
+  /// values bit for bit. Throws for untrained models.
+  json::Value to_json() const;
+  static DomainSpecificModel from_json(const json::Value& value);
 
 private:
   std::unique_ptr<ml::Regressor> time_model_;

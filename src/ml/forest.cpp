@@ -62,6 +62,19 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
   });
 }
 
+RandomForestRegressor
+RandomForestRegressor::from_trees(ForestParams params,
+                                  std::vector<DecisionTreeRegressor> trees) {
+  DSEM_ENSURE(trees.size() == static_cast<std::size_t>(params.n_estimators),
+              "from_trees: tree count does not match n_estimators");
+  for (const DecisionTreeRegressor& tree : trees) {
+    DSEM_ENSURE(tree.node_count() > 0, "from_trees: unfitted tree");
+  }
+  RandomForestRegressor forest(params);
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
 double RandomForestRegressor::predict_one(std::span<const double> x) const {
   DSEM_ENSURE(!trees_.empty(), "predict on unfitted RandomForestRegressor");
   double acc = 0.0;

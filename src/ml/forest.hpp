@@ -26,6 +26,11 @@ public:
   explicit RandomForestRegressor(ForestParams params = {});
 
   void fit(const Matrix& x, std::span<const double> y) override;
+  /// Rebuilds a fitted forest from restored trees — the deserialization
+  /// path (ml/serialize.hpp). `trees` must hold exactly
+  /// params.n_estimators fitted trees.
+  static RandomForestRegressor from_trees(ForestParams params,
+                                          std::vector<DecisionTreeRegressor> trees);
   double predict_one(std::span<const double> x) const override;
   /// Batch prediction in tree-outer order: each chunk of rows walks one
   /// tree's (hot) node array at a time instead of streaming the whole

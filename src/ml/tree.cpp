@@ -602,6 +602,49 @@ std::int32_t DecisionTreeRegressor::build(Workspace& ws, std::size_t begin,
   return node_id;
 }
 
+DecisionTreeRegressor
+DecisionTreeRegressor::from_nodes(TreeParams params,
+                                  std::vector<TreeNode> nodes) {
+  DSEM_ENSURE(!nodes.empty(), "from_nodes: empty node array");
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  // Walk from the root, checking shape as we go: every index must be
+  // visited exactly once (no orphans, no diamonds, no cycles).
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<std::int32_t> stack{0};
+  std::size_t reached = 0;
+  int depth = 0;
+  std::vector<int> depth_of(nodes.size(), 0);
+  while (!stack.empty()) {
+    const std::int32_t id = stack.back();
+    stack.pop_back();
+    DSEM_ENSURE(id >= 0 && id < n, "from_nodes: child index out of range");
+    const auto uid = static_cast<std::size_t>(id);
+    DSEM_ENSURE(!visited[uid], "from_nodes: node reached twice");
+    visited[uid] = true;
+    ++reached;
+    depth = std::max(depth, depth_of[uid]);
+    const TreeNode& node = nodes[uid];
+    if (node.feature < 0) {
+      DSEM_ENSURE(node.left == -1 && node.right == -1,
+                  "from_nodes: leaf with children");
+      continue;
+    }
+    DSEM_ENSURE(node.left != -1 && node.right != -1,
+                "from_nodes: interior node missing a child");
+    for (const std::int32_t child : {node.left, node.right}) {
+      DSEM_ENSURE(child >= 0 && child < n,
+                  "from_nodes: child index out of range");
+      depth_of[static_cast<std::size_t>(child)] = depth_of[uid] + 1;
+      stack.push_back(child);
+    }
+  }
+  DSEM_ENSURE(reached == nodes.size(), "from_nodes: unreachable nodes");
+  DecisionTreeRegressor tree(params);
+  tree.nodes_ = std::move(nodes);
+  tree.depth_ = depth;
+  return tree;
+}
+
 double DecisionTreeRegressor::predict_one(std::span<const double> x) const {
   DSEM_ENSURE(!nodes_.empty(), "predict on unfitted DecisionTreeRegressor");
   std::size_t node = 0;

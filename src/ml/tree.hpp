@@ -80,6 +80,14 @@ public:
   void fit_presorted(const detail::Presorted& ps, std::span<const double> y,
                      std::span<const std::size_t> sample);
 
+  /// Rebuilds a fitted tree from a node array — the deserialization path
+  /// (ml/serialize.hpp). Validates the array is one well-formed tree
+  /// rooted at index 0 (children in range, interior nodes have both
+  /// children, leaves neither, every node reachable exactly once) and
+  /// recomputes the depth; throws contract_error otherwise.
+  static DecisionTreeRegressor from_nodes(TreeParams params,
+                                          std::vector<TreeNode> nodes);
+
   const TreeParams& params() const noexcept { return params_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
   int depth() const noexcept { return depth_; }

@@ -1,0 +1,75 @@
+// Frequency advice as a service: request/response types and the batched
+// model evaluator behind the serving loop.
+//
+// An AdviseRequest asks "for this input, which core frequency minimizes
+// energy while staying within my slowdown budget?". The Advisor answers
+// it from a trained artifact exactly the way the one-shot
+// frequency_advisor example does: predict the full frequency curve,
+// extract the predicted Pareto front, pick the lowest-energy front point
+// within the budget. Batching fans independent requests across a thread
+// pool; each request's frequency grid is one ml::Regressor::predict_many
+// batch, and every answer is bit-identical to the serial single-request
+// path for any pool size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/ds_model.hpp"
+#include "serve/artifact.hpp"
+#include "serve/lru_cache.hpp"
+
+namespace dsem::serve {
+
+/// One advice query. `features` must match the artifact's feature_names
+/// (Table 2 order for the application).
+struct AdviseRequest {
+  std::string application;
+  std::vector<double> features;
+  /// Tolerated slowdown vs the default clock, e.g. 0.03 = up to 3%.
+  double max_slowdown = 0.03;
+
+  bool operator==(const AdviseRequest&) const = default;
+};
+
+/// Index into `pred` of the advised frequency: the lowest predicted
+/// normalized energy among Pareto-front points within the slowdown
+/// budget; falls back to the highest-speedup front point when nothing
+/// qualifies (same policy as the frequency_advisor example).
+std::size_t pick_within_slowdown(const core::Prediction& pred,
+                                 double max_slowdown);
+
+/// Deterministic cache key for a query against a given model.
+///
+/// Features are quantized to multiples of `quant_step` (llround(f/step)),
+/// so near-identical inputs share an answer; the slowdown budget is kept
+/// exact (%.17g) because it changes which answer is *correct*, not just
+/// how precise it is. `quant_step` itself is part of the key.
+std::string cache_key(const ModelKey& key, const AdviseRequest& request,
+                      double quant_step);
+
+class Advisor {
+public:
+  /// `pool` runs batched requests; nullptr = ThreadPool::global().
+  explicit Advisor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Answers one request from a domain-specific artifact.
+  AdviseAnswer advise(const ModelArtifact& artifact,
+                      const AdviseRequest& request) const;
+
+  /// Answers a batch of requests against one artifact. Requests are
+  /// independent; results land in pre-sized slots indexed by request, so
+  /// the output is bit-identical to calling advise() per request in
+  /// order, for any pool size.
+  std::vector<AdviseAnswer>
+  advise_batch(const ModelArtifact& artifact,
+               std::span<const AdviseRequest> requests) const;
+
+private:
+  ThreadPool* pool_;
+};
+
+} // namespace dsem::serve

@@ -1,0 +1,95 @@
+#include "serve/artifact.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsem::serve {
+
+json::Value ModelArtifact::to_json() const {
+  DSEM_ENSURE((ds != nullptr) != (gp != nullptr),
+              "artifact must hold exactly one model");
+  DSEM_ENSURE(!key.application.empty() && !key.device.empty(),
+              "artifact key must name an application and a device");
+  DSEM_ENSURE(!freqs_mhz.empty(), "artifact without a frequency schedule");
+  DSEM_ENSURE(default_freq_mhz > 0.0, "artifact without a default clock");
+
+  auto out = json::Value::object();
+  out.set("schema", kModelSchema);
+  out.set("kind", ds ? "domain-specific" : "general-purpose");
+  out.set("application", key.application);
+  out.set("device", key.device);
+  out.set("origin", origin);
+  auto names = json::Value::array();
+  for (const std::string& name : feature_names) {
+    names.push_back(name);
+  }
+  out.set("feature_names", std::move(names));
+  auto freqs = json::Value::array();
+  for (const double f : freqs_mhz) {
+    freqs.push_back(f);
+  }
+  out.set("freqs_mhz", std::move(freqs));
+  out.set("default_freq_mhz", default_freq_mhz);
+  out.set("model", ds ? ds->to_json() : gp->to_json());
+  return out;
+}
+
+ModelArtifact ModelArtifact::from_json(const json::Value& value) {
+  DSEM_ENSURE(value.is_object(), "model artifact: not a JSON object");
+  const json::Value* schema = value.find("schema");
+  DSEM_ENSURE(schema != nullptr && schema->is_string(),
+              "model artifact: missing schema tag");
+  DSEM_ENSURE(schema->as_string() == kModelSchema,
+              "model artifact: unsupported schema \"" + schema->as_string() +
+                  "\" (this build reads " + kModelSchema + ")");
+
+  ModelArtifact artifact;
+  artifact.key.application = value.at("application").as_string();
+  artifact.key.device = value.at("device").as_string();
+  artifact.origin = value.at("origin").as_string();
+  for (const json::Value& name : value.at("feature_names").as_array()) {
+    artifact.feature_names.push_back(name.as_string());
+  }
+  for (const json::Value& f : value.at("freqs_mhz").as_array()) {
+    artifact.freqs_mhz.push_back(f.as_number());
+  }
+  artifact.default_freq_mhz = value.at("default_freq_mhz").as_number();
+  DSEM_ENSURE(!artifact.freqs_mhz.empty(),
+              "model artifact: empty frequency schedule");
+  DSEM_ENSURE(artifact.default_freq_mhz > 0.0,
+              "model artifact: non-positive default clock");
+
+  const std::string& kind = value.at("kind").as_string();
+  if (kind == "domain-specific") {
+    artifact.ds = std::make_shared<core::DomainSpecificModel>(
+        core::DomainSpecificModel::from_json(value.at("model")));
+  } else if (kind == "general-purpose") {
+    artifact.gp = std::make_shared<core::GeneralPurposeModel>(
+        core::GeneralPurposeModel::from_json(value.at("model")));
+  } else {
+    throw contract_error("model artifact: unknown kind \"" + kind + "\"");
+  }
+  return artifact;
+}
+
+void ModelArtifact::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  DSEM_ENSURE(out.good(), "cannot open model artifact for writing: " + path);
+  to_json().write(out, 2);
+  out << "\n";
+  DSEM_ENSURE(out.good(), "failed writing model artifact: " + path);
+}
+
+ModelArtifact ModelArtifact::load_file(const std::string& path) {
+  std::ifstream in(path);
+  DSEM_ENSURE(in.good(), "cannot open model artifact: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  DSEM_ENSURE(!in.bad(), "failed reading model artifact: " + path);
+  // Origin is kept exactly as stored so save → load → save is byte-equal.
+  return from_json(json::Value::parse(buffer.str()));
+}
+
+} // namespace dsem::serve

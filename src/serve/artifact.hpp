@@ -1,0 +1,69 @@
+// Serialized model artifacts: the "dsem-model-v1" schema (DESIGN.md §7.11).
+//
+// The serving layer's unit of deployment: one trained model — the paper's
+// domain-specific family or the general-purpose baseline — bundled with
+// everything a server needs to answer queries without re-profiling the
+// device: the (application, device) key, the frequency schedule it was
+// trained over, the default clock used as the speedup/energy baseline,
+// and the domain feature names (doubling as the input-width contract).
+//
+// Artifacts round-trip bit-identically: to_json uses the deterministic
+// common/json writer ("%.17g" doubles, insertion-ordered keys), so
+// serialize → parse → re-serialize is byte-equal and a loaded model
+// answers every query bit-identically to the in-process original
+// (property-tested in tests/serve/serialization_test.cpp). Train once
+// with `frequency_advisor --train-out`, load anywhere with `--model-in`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/ds_model.hpp"
+#include "core/gp_model.hpp"
+
+namespace dsem::serve {
+
+inline constexpr const char* kModelSchema = "dsem-model-v1";
+
+/// Registry key: which application's queries a model answers, measured on
+/// which device.
+struct ModelKey {
+  std::string application; ///< "cronos" | "ligen" | ...
+  std::string device;      ///< e.g. "v100", "mi100"
+
+  auto operator<=>(const ModelKey&) const = default;
+  std::string to_string() const { return application + "/" + device; }
+};
+
+/// One deployable model. Exactly one of `ds` / `gp` is set (the artifact
+/// kind); the serving loop requires `ds` — the paper's integration target
+/// feeds domain-specific predictions into per-kernel DVFS.
+struct ModelArtifact {
+  ModelKey key;
+  std::string origin; ///< provenance, e.g. "trained-in-process" or a path
+  std::vector<std::string> feature_names; ///< domain features, in order
+  std::vector<double> freqs_mhz;          ///< prediction frequency schedule
+  double default_freq_mhz = 0.0;          ///< baseline clock
+  std::shared_ptr<const core::DomainSpecificModel> ds;
+  std::shared_ptr<const core::GeneralPurposeModel> gp;
+
+  bool is_domain_specific() const noexcept { return ds != nullptr; }
+
+  /// "dsem-model-v1" document. Deterministic: calling it twice on the
+  /// same artifact yields byte-identical dumps.
+  json::Value to_json() const;
+
+  /// Parses a "dsem-model-v1" document. Schema-tag mismatches, unknown
+  /// kinds, and malformed payloads raise contract_error (version drift is
+  /// a clean error, never a crash or a silently wrong model).
+  static ModelArtifact from_json(const json::Value& value);
+
+  /// File variants: pretty-printed JSON with a trailing newline (the repo
+  /// convention), parsed back with full validation.
+  void save_file(const std::string& path) const;
+  static ModelArtifact load_file(const std::string& path);
+};
+
+} // namespace dsem::serve

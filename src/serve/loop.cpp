@@ -1,0 +1,186 @@
+#include "serve/loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/statistics.hpp"
+
+namespace dsem::serve {
+
+ServeLoop::ServeLoop(const ModelRegistry& registry, ServeConfig config)
+    : registry_(registry), config_(config), advisor_(config.pool),
+      cache_(config.cache_capacity) {
+  DSEM_ENSURE(config_.batch_size > 0, "serve: batch size must be > 0");
+  DSEM_ENSURE(config_.hit_cost_s > 0.0 && config_.miss_cost_s > 0.0,
+              "serve: service costs must be > 0");
+  DSEM_ENSURE(!config_.device.empty(), "serve: empty device name");
+}
+
+std::vector<AdviseResponse>
+ServeLoop::run(std::span<const TimedRequest> trace) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    DSEM_ENSURE(trace[i - 1].arrival_s <= trace[i].arrival_s,
+                "serve: trace arrivals must be ascending");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  stats_ = ServeStats{};
+  stats_.requests = trace.size();
+  std::vector<AdviseResponse> responses(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    responses[i].arrival_s = trace[i].arrival_s;
+  }
+
+  std::deque<std::size_t> waiting;
+  std::size_t next_arrival = 0;
+  double server_free_s = 0.0;
+  double last_completion_s = 0.0;
+
+  const auto shed = [&](std::size_t index, double when_s) {
+    AdviseResponse& response = responses[index];
+    response.shed = true;
+    response.completion_s = when_s;
+    response.latency_s = when_s - response.arrival_s;
+    last_completion_s = std::max(last_completion_s, when_s);
+    ++stats_.shed;
+  };
+
+  while (next_arrival < trace.size() || !waiting.empty()) {
+    // The server dispatches its next batch at `horizon`: when it frees
+    // up, or — if idle with an empty queue — when the next request lands.
+    double horizon_s = server_free_s;
+    if (waiting.empty() && trace[next_arrival].arrival_s > horizon_s) {
+      horizon_s = trace[next_arrival].arrival_s;
+    }
+    // Admit everything that has arrived by then, in arrival order,
+    // shedding the oldest waiter whenever the queue is at its bound.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_s <= horizon_s) {
+      if (config_.admission_bound > 0 &&
+          waiting.size() == config_.admission_bound) {
+        shed(waiting.front(), trace[next_arrival].arrival_s);
+        waiting.pop_front();
+      }
+      waiting.push_back(next_arrival);
+      ++next_arrival;
+    }
+
+    const std::size_t batch_count =
+        std::min(config_.batch_size, waiting.size());
+    std::vector<std::size_t> batch(waiting.begin(),
+                                   waiting.begin() + batch_count);
+    waiting.erase(waiting.begin(), waiting.begin() + batch_count);
+    ++stats_.batches;
+
+    // Cache lookups see the cache as of batch start (no insertions
+    // happen until the whole batch is answered); hits refresh recency in
+    // logical request order. Identical keys that miss together are
+    // computed together — the answer is the same, so the later insert is
+    // a refresh.
+    std::vector<std::string> keys(batch.size());
+    std::vector<bool> hit(batch.size(), false);
+    std::map<std::string, std::vector<std::size_t>> misses_by_app;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const AdviseRequest& request = trace[batch[b]].request;
+      keys[b] = cache_key({request.application, config_.device}, request,
+                          config_.cache_quant_step);
+      AdviseResponse& response = responses[batch[b]];
+      if (cache_.get(keys[b], response.answer)) {
+        hit[b] = true;
+        ++stats_.cache_hits;
+      } else {
+        misses_by_app[request.application].push_back(b);
+        ++stats_.cache_misses;
+      }
+    }
+
+    // Batched inference for the misses, one artifact per application.
+    // Answers land in slots indexed by batch position.
+    std::map<std::string, std::shared_ptr<const ModelArtifact>> artifacts;
+    for (const auto& [app, positions] : misses_by_app) {
+      const auto artifact =
+          registry_.require(ModelKey{app, config_.device});
+      std::vector<AdviseRequest> requests;
+      requests.reserve(positions.size());
+      for (const std::size_t b : positions) {
+        requests.push_back(trace[batch[b]].request);
+      }
+      const std::vector<AdviseAnswer> answers =
+          advisor_.advise_batch(*artifact, requests);
+      for (std::size_t k = 0; k < positions.size(); ++k) {
+        responses[batch[positions[k]]].answer = answers[k];
+      }
+      artifacts[app] = artifact;
+    }
+
+    // Sequential service in simulated time, then cache insertions in
+    // logical request order.
+    double now_s =
+        std::max(server_free_s, responses[batch.front()].arrival_s);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      AdviseResponse& response = responses[batch[b]];
+      now_s += hit[b] ? config_.hit_cost_s : config_.miss_cost_s;
+      response.cache_hit = hit[b];
+      response.completion_s = now_s;
+      response.latency_s = now_s - response.arrival_s;
+      const std::string& app = trace[batch[b]].request.application;
+      if (const auto it = artifacts.find(app); it != artifacts.end()) {
+        response.model = it->second->key.to_string() + "@" +
+                         it->second->origin;
+      } else {
+        // All of this app's batch entries were hits; resolve provenance
+        // without recomputing.
+        const auto artifact =
+            registry_.require(ModelKey{app, config_.device});
+        response.model =
+            artifact->key.to_string() + "@" + artifact->origin;
+        artifacts[app] = artifact;
+      }
+      if (!hit[b]) {
+        cache_.put(keys[b], response.answer);
+      }
+      ++stats_.served;
+    }
+    server_free_s = now_s;
+    last_completion_s = std::max(last_completion_s, now_s);
+  }
+
+  // Deterministic accounting: latencies are simulated, so the histogram
+  // and percentiles are safe across pool sizes.
+  std::vector<double> latencies;
+  latencies.reserve(stats_.served);
+  for (const AdviseResponse& response : responses) {
+    if (!response.shed) {
+      latencies.push_back(response.latency_s);
+      metrics::histogram("serve.latency_s", response.latency_s);
+    }
+  }
+  if (!latencies.empty()) {
+    stats_.p50_latency_s = stats::quantile(latencies, 0.50);
+    stats_.p99_latency_s = stats::quantile(latencies, 0.99);
+    stats_.max_latency_s = *std::max_element(latencies.begin(),
+                                             latencies.end());
+  }
+  stats_.sim_duration_s = last_completion_s;
+  stats_.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+
+  metrics::counter("serve.requests", stats_.requests);
+  metrics::counter("serve.served", stats_.served);
+  metrics::counter("serve.shed", stats_.shed);
+  metrics::counter("serve.cache.hits", stats_.cache_hits);
+  metrics::counter("serve.cache.misses", stats_.cache_misses);
+  metrics::counter("serve.batches", stats_.batches);
+  // Driver-thread gauge: deterministic because run() is serial here.
+  metrics::gauge("serve.sim_duration_s", stats_.sim_duration_s,
+                 metrics::Reliability::kDeterministic);
+  metrics::gauge("serve.wall_s", stats_.wall_s);
+  return responses;
+}
+
+} // namespace dsem::serve

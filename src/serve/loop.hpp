@@ -1,0 +1,121 @@
+// The Advisor serving loop: admission control, answer cache, batched
+// model evaluation, and deterministic latency accounting.
+//
+// The loop replays a timestamped request trace against a single logical
+// server in *simulated* time: per-request service cost is a fixed
+// hit_cost_s or miss_cost_s, so queueing delays, shed decisions, and
+// latency percentiles are a pure function of the trace and the config —
+// bit-identical for any DSEM_THREADS. Real model inference still runs
+// (batched, on the thread pool) to produce the answers and the
+// wall-clock throughput number; only the *reported latencies* come from
+// the simulated clock. Determinism rules:
+//
+//  - Admission and shedding happen in arrival order. When the waiting
+//    queue is at admission_bound, the OLDEST waiting request is shed to
+//    admit the newcomer (shed-oldest: the newest request has the best
+//    chance of meeting its deadline).
+//  - Each batch's cache lookups see the cache as of batch start; the
+//    batch's answers are then inserted in logical request order. Cache
+//    content is therefore a function of the request sequence alone.
+//  - Responses are returned indexed by trace position (pre-sized slots).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/registry.hpp"
+#include "serve/traffic.hpp"
+
+namespace dsem::serve {
+
+struct ServeConfig {
+  /// Device half of the registry key for every request.
+  std::string device = "v100";
+  /// Max requests answered per server dispatch.
+  std::size_t batch_size = 64;
+  /// Waiting-queue bound for admission control; 0 = unbounded.
+  std::size_t admission_bound = 1024;
+  /// LRU answer-cache capacity; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Feature quantization step for cache keys (serve/advisor.hpp).
+  double cache_quant_step = 1.0;
+  /// Simulated service cost of a cache hit / miss, seconds.
+  double hit_cost_s = 2e-6;
+  double miss_cost_s = 2e-4;
+  /// Pool for batched inference; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Outcome of one request. All times are simulated seconds.
+struct AdviseResponse {
+  bool shed = false;
+  bool cache_hit = false;
+  AdviseAnswer answer;       ///< zeroed when shed
+  std::string model;         ///< provenance "app/device@origin"; "" when shed
+  double arrival_s = 0.0;
+  double completion_s = 0.0; ///< shed time for shed requests
+  double latency_s = 0.0;    ///< completion - arrival
+
+  bool operator==(const AdviseResponse&) const = default;
+};
+
+/// Aggregates over one run() call. Everything except wall_s and
+/// throughput_rps() is deterministic.
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t batches = 0;
+  double p50_latency_s = 0.0; ///< served requests only
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double sim_duration_s = 0.0; ///< last completion in simulated time
+  double wall_s = 0.0;         ///< wall-clock run time (report only)
+
+  double hit_rate() const noexcept {
+    return served > 0 ? static_cast<double>(cache_hits) /
+                            static_cast<double>(served)
+                      : 0.0;
+  }
+  double shed_rate() const noexcept {
+    return requests > 0 ? static_cast<double>(shed) /
+                              static_cast<double>(requests)
+                        : 0.0;
+  }
+  /// Served requests per wall-clock second (not simulated time).
+  double throughput_rps() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0;
+  }
+};
+
+class ServeLoop {
+public:
+  /// The registry must outlive the loop and hold a domain-specific model
+  /// for every (application, config.device) the traffic can name.
+  ServeLoop(const ModelRegistry& registry, ServeConfig config);
+
+  /// Replays `trace` (ascending arrival_s) to completion. Responses are
+  /// indexed by trace position. The cache persists across run() calls;
+  /// stats are per call.
+  std::vector<AdviseResponse> run(std::span<const TimedRequest> trace);
+
+  const ServeStats& stats() const noexcept { return stats_; }
+  const LruCache& cache() const noexcept { return cache_; }
+  LruCache& cache() noexcept { return cache_; }
+
+private:
+  const ModelRegistry& registry_;
+  ServeConfig config_;
+  Advisor advisor_;
+  LruCache cache_;
+  ServeStats stats_;
+};
+
+} // namespace dsem::serve

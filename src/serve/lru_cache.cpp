@@ -1,0 +1,46 @@
+#include "serve/lru_cache.hpp"
+
+namespace dsem::serve {
+
+bool LruCache::get(const std::string& key, AdviseAnswer& out) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  out = it->second->second;
+  return true;
+}
+
+void LruCache::put(const std::string& key, const AdviseAnswer& answer) {
+  if (capacity_ == 0) {
+    return;
+  }
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->second = answer;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() == capacity_) {
+    map_.erase(order_.back().first);
+    order_.pop_back();
+  }
+  order_.emplace_front(key, answer);
+  map_.emplace(key, order_.begin());
+}
+
+void LruCache::clear() {
+  map_.clear();
+  order_.clear();
+}
+
+std::vector<std::string> LruCache::keys_mru() const {
+  std::vector<std::string> out;
+  out.reserve(order_.size());
+  for (const auto& [key, _] : order_) {
+    out.push_back(key);
+  }
+  return out;
+}
+
+} // namespace dsem::serve

@@ -1,0 +1,41 @@
+// Thread-safe model registry keyed on (application, device).
+//
+// The serving loop's source of truth for which trained model answers
+// which query population. Artifacts are immutable once registered
+// (shared_ptr<const>), so a reader that looked one up keeps a consistent
+// model even while a writer swaps in a replacement under the same key —
+// there are no torn reads, only the old artifact or the new one
+// (stress-tested in tests/serve/concurrency_test.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/artifact.hpp"
+
+namespace dsem::serve {
+
+class ModelRegistry {
+public:
+  /// Registers (or replaces) the artifact under its own key. The artifact
+  /// must hold a trained model.
+  void put(ModelArtifact artifact);
+
+  /// The artifact under `key`, or nullptr when absent. The returned
+  /// pointer stays valid after a concurrent put() replaces the entry.
+  std::shared_ptr<const ModelArtifact> get(const ModelKey& key) const;
+
+  /// get() that throws contract_error naming the missing key.
+  std::shared_ptr<const ModelArtifact> require(const ModelKey& key) const;
+
+  std::size_t size() const;
+  std::vector<ModelKey> keys() const; ///< sorted (map order)
+
+private:
+  mutable std::mutex mutex_;
+  std::map<ModelKey, std::shared_ptr<const ModelArtifact>> entries_;
+};
+
+} // namespace dsem::serve

@@ -1,0 +1,99 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+
+namespace dsem::serve {
+
+namespace {
+
+/// Integer in [lo, hi], uniform.
+int uniform_between(Rng& rng, int lo, int hi) {
+  return lo + static_cast<int>(rng.uniform_int(
+                  static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+/// Integer log-uniform in [lo, hi]: problem sizes that span decades
+/// (ligand counts) should populate every decade, not cluster at the top.
+int log_uniform_between(Rng& rng, int lo, int hi) {
+  const double x =
+      rng.uniform(std::log(static_cast<double>(lo)),
+                  std::log(static_cast<double>(hi) + 1.0));
+  const int value = static_cast<int>(std::exp(x));
+  return std::min(std::max(value, lo), hi);
+}
+
+/// Distinct LiGen inputs, spanning the ranges the training grids cover.
+std::vector<std::vector<double>> ligen_population(Rng& rng,
+                                                  std::size_t count) {
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int ligands = log_uniform_between(rng, 16, 10000);
+    const int atoms = uniform_between(rng, 16, 96);
+    const int fragments = uniform_between(rng, 2, 24);
+    out.push_back(
+        core::LigenWorkload(ligands, atoms, fragments).domain_features());
+  }
+  return out;
+}
+
+/// Distinct Cronos inputs (grid shapes; 10-step runs like training).
+std::vector<std::vector<double>> cronos_population(Rng& rng,
+                                                   std::size_t count) {
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cronos::GridDims dims;
+    dims.nx = uniform_between(rng, 8, 160);
+    dims.ny = uniform_between(rng, 8, 160);
+    dims.nz = uniform_between(rng, 8, 160);
+    out.push_back(core::CronosWorkload(dims, 10).domain_features());
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
+  DSEM_ENSURE(config.arrival_rate_hz > 0.0,
+              "traffic: arrival rate must be > 0");
+  DSEM_ENSURE(config.ligen_fraction >= 0.0 && config.ligen_fraction <= 1.0,
+              "traffic: ligen fraction must be in [0, 1]");
+  DSEM_ENSURE(config.population > 0, "traffic: empty input population");
+  DSEM_ENSURE(!config.slowdown_budgets.empty(),
+              "traffic: no slowdown budgets");
+
+  // Independent streams for population construction and arrivals, so
+  // changing the population size does not reshuffle arrival times.
+  Rng population_rng(derive_seed(config.seed, 0));
+  Rng arrival_rng(derive_seed(config.seed, 1));
+
+  const auto ligen = ligen_population(population_rng, config.population);
+  const auto cronos = cronos_population(population_rng, config.population);
+
+  std::vector<TimedRequest> trace;
+  trace.reserve(config.requests);
+  double now = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    now += -std::log(1.0 - arrival_rng.uniform()) / config.arrival_rate_hz;
+    const bool is_ligen = arrival_rng.uniform() < config.ligen_fraction;
+    const auto& population = is_ligen ? ligen : cronos;
+    const std::size_t input = arrival_rng.uniform_int(population.size());
+    const std::size_t budget =
+        arrival_rng.uniform_int(config.slowdown_budgets.size());
+
+    TimedRequest timed;
+    timed.arrival_s = now;
+    timed.request.application = is_ligen ? "ligen" : "cronos";
+    timed.request.features = population[input];
+    timed.request.max_slowdown = config.slowdown_budgets[budget];
+    trace.push_back(std::move(timed));
+  }
+  return trace;
+}
+
+} // namespace dsem::serve

@@ -1,0 +1,44 @@
+// Deterministic synthetic request traffic for the serving loop.
+//
+// Generates a Poisson-arrival stream of AdviseRequests drawn from finite
+// LiGen / Cronos input populations, entirely from a seeded RNG: the same
+// TrafficConfig always yields the same trace, byte for byte, which is
+// what makes the serving benchmarks and golden determinism tests
+// reproducible. Feature vectors come from the real Workload classes
+// (core/workload.hpp), so traced inputs are exactly what training saw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/advisor.hpp"
+
+namespace dsem::serve {
+
+/// One request stamped with its (simulated) arrival time.
+struct TimedRequest {
+  double arrival_s = 0.0;
+  AdviseRequest request;
+
+  bool operator==(const TimedRequest&) const = default;
+};
+
+struct TrafficConfig {
+  std::size_t requests = 100000;
+  /// Mean Poisson arrival rate (exponential interarrival times).
+  double arrival_rate_hz = 2000.0;
+  /// Fraction of requests targeting LiGen; the rest target Cronos.
+  double ligen_fraction = 0.5;
+  /// Distinct inputs per application. The trace samples uniformly from
+  /// this population, so it bounds the number of distinct cache keys.
+  std::size_t population = 512;
+  std::uint64_t seed = 0x5EedF00dULL;
+  /// Slowdown budgets sampled uniformly per request.
+  std::vector<double> slowdown_budgets = {0.01, 0.03, 0.05, 0.10};
+};
+
+/// Builds the request trace for `config`. Pure function of the config.
+std::vector<TimedRequest> generate_trace(const TrafficConfig& config);
+
+} // namespace dsem::serve

@@ -1,0 +1,75 @@
+#include "serve/train.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/ds_model.hpp"
+
+namespace dsem::serve {
+
+std::vector<std::unique_ptr<core::Workload>>
+training_set(const std::string& app, bool compact) {
+  std::vector<std::unique_ptr<core::Workload>> out;
+  if (app == "cronos") {
+    const std::vector<int> sizes = compact
+                                       ? std::vector<int>{10, 40, 160}
+                                       : std::vector<int>{10, 20, 40, 80,
+                                                          120, 160};
+    for (const int n : sizes) {
+      const int side = std::max(4, n * 2 / 5);
+      out.push_back(std::make_unique<core::CronosWorkload>(
+          cronos::GridDims{n, side, side}, 10));
+    }
+    return out;
+  }
+  DSEM_ENSURE(app == "ligen", "no training set for app: " + app);
+  const std::vector<int> ligands = compact
+                                       ? std::vector<int>{16, 1024, 10000}
+                                       : std::vector<int>{16, 256, 1024,
+                                                          4096, 10000};
+  const std::vector<int> atoms =
+      compact ? std::vector<int>{31, 89} : std::vector<int>{31, 63, 89};
+  const std::vector<int> frags =
+      compact ? std::vector<int>{4, 20} : std::vector<int>{4, 8, 20};
+  for (const int l : ligands) {
+    for (const int a : atoms) {
+      for (const int f : frags) {
+        out.push_back(std::make_unique<core::LigenWorkload>(l, a, f));
+      }
+    }
+  }
+  return out;
+}
+
+ModelArtifact train_domain_specific(synergy::Device& device,
+                                    const ModelKey& key,
+                                    const TrainConfig& config) {
+  DSEM_ENSURE(config.freq_stride > 0, "train: frequency stride must be > 0");
+  const auto workloads = training_set(key.application, config.compact);
+
+  const std::vector<double> all_freqs = device.supported_frequencies();
+  std::vector<double> train_freqs;
+  for (std::size_t i = 0; i < all_freqs.size(); i += config.freq_stride) {
+    train_freqs.push_back(all_freqs[i]);
+  }
+
+  const core::Dataset dataset =
+      core::build_dataset(device, workloads, config.sweep, train_freqs);
+
+  auto model = config.prototype != nullptr
+                   ? std::make_shared<core::DomainSpecificModel>(
+                         *config.prototype)
+                   : std::make_shared<core::DomainSpecificModel>();
+  model->train(dataset);
+
+  ModelArtifact artifact;
+  artifact.key = key;
+  artifact.origin = config.origin;
+  artifact.feature_names = workloads.front()->feature_names();
+  artifact.freqs_mhz = all_freqs;
+  artifact.default_freq_mhz = device.default_frequency();
+  artifact.ds = std::move(model);
+  return artifact;
+}
+
+} // namespace dsem::serve

@@ -78,6 +78,33 @@ TEST(BenchReport, MergeGoogleBenchmarkSkipsAggregatesAndNormalizesUnits) {
   EXPECT_EQ(entries[1].at("cpu_time_ns").as_number(), 1.25e6);
 }
 
+TEST(BenchReport, MergeLiftsNanosecondUserCounters) {
+  json::Value report = make_report("2026-08-05", "smoke");
+  const json::Value gbench = json::Value::parse(R"({
+    "benchmarks": [
+      {"name": "BM_Serve", "run_type": "iteration", "real_time": 2.0,
+       "cpu_time": 2.0, "time_unit": "ms", "iterations": 5,
+       "p50_latency_ns": 1234.0, "p99_latency_ns": 56789.0,
+       "throughput_rps": 4000.0, "hit_rate": 0.8}
+    ]
+  })");
+  // One iteration row plus the two _ns counters; throughput_rps and
+  // hit_rate are not latencies and must stay out of the report.
+  EXPECT_EQ(merge_google_benchmark(report, "perf_advisor", gbench), 3u);
+  validate(report);
+
+  const auto& entries = report.at("benchmarks").as_array();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].at("name").as_string(), "perf_advisor/BM_Serve");
+  EXPECT_EQ(entries[1].at("name").as_string(),
+            "perf_advisor/BM_Serve:p50_latency_ns");
+  EXPECT_EQ(entries[1].at("real_time_ns").as_number(), 1234.0);
+  EXPECT_EQ(entries[1].at("cpu_time_ns").as_number(), 1234.0);
+  EXPECT_EQ(entries[2].at("name").as_string(),
+            "perf_advisor/BM_Serve:p99_latency_ns");
+  EXPECT_EQ(entries[2].at("real_time_ns").as_number(), 56789.0);
+}
+
 TEST(BenchReport, MergeRejectsUnknownTimeUnit) {
   json::Value report = make_report("2026-08-05", "smoke");
   const json::Value gbench = json::Value::parse(R"({

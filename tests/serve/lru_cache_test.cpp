@@ -1,0 +1,87 @@
+// Golden tests for the serving answer cache: eviction order is a pure
+// function of the get/put sequence, pinned here by hand.
+#include <gtest/gtest.h>
+
+#include "serve/lru_cache.hpp"
+
+namespace {
+
+using dsem::serve::AdviseAnswer;
+using dsem::serve::LruCache;
+
+AdviseAnswer answer(double freq) {
+  AdviseAnswer a;
+  a.freq_mhz = freq;
+  return a;
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.put("a", answer(1));
+  cache.put("b", answer(2));
+  AdviseAnswer out;
+  ASSERT_TRUE(cache.get("a", out)); // refreshes a: order is now a, b
+  cache.put("c", answer(3));        // evicts b
+
+  EXPECT_TRUE(cache.get("a", out));
+  EXPECT_FALSE(cache.get("b", out));
+  EXPECT_TRUE(cache.get("c", out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, GoldenEvictionOrder) {
+  // Hand-computed MRU order after every operation, capacity 3.
+  LruCache cache(3);
+  AdviseAnswer out;
+  using Keys = std::vector<std::string>;
+
+  cache.put("a", answer(1));
+  EXPECT_EQ(cache.keys_mru(), (Keys{"a"}));
+  cache.put("b", answer(2));
+  EXPECT_EQ(cache.keys_mru(), (Keys{"b", "a"}));
+  cache.put("c", answer(3));
+  EXPECT_EQ(cache.keys_mru(), (Keys{"c", "b", "a"}));
+  EXPECT_TRUE(cache.get("a", out)); // refresh a
+  EXPECT_EQ(cache.keys_mru(), (Keys{"a", "c", "b"}));
+  cache.put("d", answer(4)); // full: evicts b (LRU)
+  EXPECT_EQ(cache.keys_mru(), (Keys{"d", "a", "c"}));
+  cache.put("c", answer(5)); // refresh + update, no eviction
+  EXPECT_EQ(cache.keys_mru(), (Keys{"c", "d", "a"}));
+  EXPECT_TRUE(cache.get("c", out));
+  EXPECT_EQ(out.freq_mhz, 5.0); // refreshed value, not the original
+  EXPECT_FALSE(cache.get("b", out));
+  cache.put("e", answer(6)); // evicts a
+  EXPECT_EQ(cache.keys_mru(), (Keys{"e", "c", "d"}));
+}
+
+TEST(LruCacheTest, MissDoesNotDisturbOrder) {
+  LruCache cache(2);
+  cache.put("a", answer(1));
+  cache.put("b", answer(2));
+  AdviseAnswer out;
+  EXPECT_FALSE(cache.get("nope", out));
+  EXPECT_EQ(cache.keys_mru(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache cache(0);
+  cache.put("a", answer(1));
+  AdviseAnswer out;
+  EXPECT_FALSE(cache.get("a", out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.keys_mru().empty());
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(4);
+  cache.put("a", answer(1));
+  cache.put("b", answer(2));
+  cache.clear();
+  AdviseAnswer out;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("a", out));
+  cache.put("c", answer(3));
+  EXPECT_EQ(cache.keys_mru(), (std::vector<std::string>{"c"}));
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+// The traffic generator's determinism and distribution contracts.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "serve/traffic.hpp"
+
+namespace {
+
+using namespace dsem;
+using serve::generate_trace;
+using serve::TimedRequest;
+using serve::TrafficConfig;
+
+TrafficConfig small_config() {
+  TrafficConfig config;
+  config.requests = 2000;
+  config.arrival_rate_hz = 1000.0;
+  config.population = 32;
+  return config;
+}
+
+TEST(TrafficTest, SameConfigSameTraceBitForBit) {
+  const auto a = generate_trace(small_config());
+  const auto b = generate_trace(small_config());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrafficTest, DifferentSeedsDiffer) {
+  TrafficConfig other = small_config();
+  other.seed ^= 1;
+  EXPECT_NE(generate_trace(small_config()), generate_trace(other));
+}
+
+TEST(TrafficTest, ArrivalsAscendAndStartPositive) {
+  const auto trace = generate_trace(small_config());
+  ASSERT_EQ(trace.size(), 2000u);
+  double previous = 0.0;
+  for (const TimedRequest& timed : trace) {
+    EXPECT_GE(timed.arrival_s, previous);
+    previous = timed.arrival_s;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(TrafficTest, LigenFractionBoundsApplicationMix) {
+  TrafficConfig all_cronos = small_config();
+  all_cronos.ligen_fraction = 0.0;
+  for (const TimedRequest& timed : generate_trace(all_cronos)) {
+    EXPECT_EQ(timed.request.application, "cronos");
+  }
+  TrafficConfig all_ligen = small_config();
+  all_ligen.ligen_fraction = 1.0;
+  for (const TimedRequest& timed : generate_trace(all_ligen)) {
+    EXPECT_EQ(timed.request.application, "ligen");
+  }
+}
+
+TEST(TrafficTest, PopulationBoundsDistinctInputs) {
+  const auto trace = generate_trace(small_config());
+  std::set<std::vector<double>> ligen_inputs;
+  std::set<std::vector<double>> cronos_inputs;
+  for (const TimedRequest& timed : trace) {
+    (timed.request.application == "ligen" ? ligen_inputs : cronos_inputs)
+        .insert(timed.request.features);
+  }
+  EXPECT_LE(ligen_inputs.size(), 32u);
+  EXPECT_LE(cronos_inputs.size(), 32u);
+  EXPECT_GT(ligen_inputs.size(), 1u);
+  EXPECT_GT(cronos_inputs.size(), 1u);
+}
+
+TEST(TrafficTest, BudgetsComeFromTheConfiguredSet) {
+  TrafficConfig config = small_config();
+  config.slowdown_budgets = {0.02, 0.07};
+  for (const TimedRequest& timed : generate_trace(config)) {
+    EXPECT_TRUE(timed.request.max_slowdown == 0.02 ||
+                timed.request.max_slowdown == 0.07);
+  }
+}
+
+TEST(TrafficTest, PopulationSizeDoesNotReshuffleArrivals) {
+  // Arrival times draw from an independent stream: growing the population
+  // must keep the arrival process identical.
+  TrafficConfig big = small_config();
+  big.population = 64;
+  const auto small_trace = generate_trace(small_config());
+  const auto big_trace = generate_trace(big);
+  for (std::size_t i = 0; i < small_trace.size(); ++i) {
+    EXPECT_EQ(small_trace[i].arrival_s, big_trace[i].arrival_s);
+  }
+}
+
+TEST(TrafficTest, RejectsNonsenseConfigs) {
+  TrafficConfig bad_rate = small_config();
+  bad_rate.arrival_rate_hz = 0.0;
+  EXPECT_THROW(generate_trace(bad_rate), contract_error);
+
+  TrafficConfig bad_fraction = small_config();
+  bad_fraction.ligen_fraction = 1.5;
+  EXPECT_THROW(generate_trace(bad_fraction), contract_error);
+
+  TrafficConfig no_budgets = small_config();
+  no_budgets.slowdown_budgets.clear();
+  EXPECT_THROW(generate_trace(no_budgets), contract_error);
+
+  TrafficConfig no_population = small_config();
+  no_population.population = 0;
+  EXPECT_THROW(generate_trace(no_population), contract_error);
+}
+
+} // namespace
