@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
   json::Value report =
       benchreport::make_report(date, smoke ? "smoke" : "full");
   for (const char* name : {"perf_sim", "perf_ml", "perf_cronos",
-                           "perf_ligen", "perf_advisor"}) {
+                           "perf_ligen", "perf_advisor", "perf_sched"}) {
     run_micro_benchmark(report, bench_dir, name, smoke);
   }
 

@@ -40,16 +40,48 @@ const synergy::Device& Cluster::device(int rank) const {
   return *devices_[static_cast<std::size_t>(rank)];
 }
 
-void Cluster::set_frequency_all(double mhz) {
-  for (auto& device : devices_) {
-    device->set_frequency(mhz);
+namespace {
+
+/// Applies `request` to one rank, translating a transient rejection into
+/// a recorded outcome instead of unwinding the broadcast mid-cluster.
+template <typename Request>
+Cluster::RankClockResult apply_clock_request(synergy::Device& device,
+                                             int rank,
+                                             const Request& request) {
+  Cluster::RankClockResult result;
+  result.rank = rank;
+  try {
+    request(device);
+  } catch (const sim::TransientFault& fault) {
+    result.ok = false;
+    result.error = fault.what();
   }
+  result.actual_mhz = device.current_frequency();
+  return result;
 }
 
-void Cluster::reset_frequency_all() {
-  for (auto& device : devices_) {
-    device->reset_frequency();
+} // namespace
+
+std::vector<Cluster::RankClockResult> Cluster::set_frequency_all(double mhz) {
+  std::vector<RankClockResult> results;
+  results.reserve(devices_.size());
+  for (int rank = 0; rank < size(); ++rank) {
+    results.push_back(apply_clock_request(
+        *devices_[static_cast<std::size_t>(rank)], rank,
+        [mhz](synergy::Device& device) { device.set_frequency(mhz); }));
   }
+  return results;
+}
+
+std::vector<Cluster::RankClockResult> Cluster::reset_frequency_all() {
+  std::vector<RankClockResult> results;
+  results.reserve(devices_.size());
+  for (int rank = 0; rank < size(); ++rank) {
+    results.push_back(apply_clock_request(
+        *devices_[static_cast<std::size_t>(rank)], rank,
+        [](synergy::Device& device) { device.reset_frequency(); }));
+  }
+  return results;
 }
 
 double Cluster::total_device_energy_j() const {

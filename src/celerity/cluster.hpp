@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "synergy/device.hpp"
@@ -42,9 +43,25 @@ public:
   synergy::Device& device(int rank);
   const synergy::Device& device(int rank) const;
 
+  /// One rank's result of a broadcast clock request. Under fault
+  /// injection a rank may reject set_core_frequency transiently; the
+  /// broadcast keeps going and reports every rank, so a caller (e.g. the
+  /// scheduler) never assumes a clock it did not get.
+  struct RankClockResult {
+    int rank = 0;
+    bool ok = true;
+    double actual_mhz = 0.0; ///< clock the rank runs at now
+    std::string error;       ///< rejection reason when !ok
+
+    bool operator==(const RankClockResult&) const = default;
+  };
+
   /// Broadcast clock control (what a cluster-wide SYnergy policy does).
-  void set_frequency_all(double mhz);
-  void reset_frequency_all();
+  /// Every rank is attempted; per-rank rejections are surfaced in the
+  /// returned vector (indexed by rank) instead of aborting the broadcast
+  /// or being swallowed.
+  std::vector<RankClockResult> set_frequency_all(double mhz);
+  std::vector<RankClockResult> reset_frequency_all();
 
   /// Sum of all ranks' device energy counters.
   double total_device_energy_j() const;

@@ -1,0 +1,318 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/power_model.hpp"
+#include "synergy/queue.hpp"
+
+namespace dsem::sched {
+
+namespace {
+
+/// Per-job results of the parallel precompute pass, written into
+/// pre-sized slots so the pass is bit-identical for any pool size.
+struct JobPlan {
+  double ref_time_s = 0.0;   ///< noise-free runtime at the default clock
+  double ref_energy_j = 0.0; ///< noise-free energy at the default clock
+  double deadline_s = 0.0;
+  // Model policy only: predicted curves over the candidate clocks,
+  // index-aligned, ascending frequency.
+  std::vector<double> cand_freqs_mhz;
+  std::vector<double> cand_time_s;
+  std::vector<double> cand_energy_j;
+};
+
+/// Every `stride`-th schedule frequency, with the maximum always kept so
+/// the run-at-max fallback exists on every candidate grid.
+std::vector<double> strided_candidates(std::span<const double> freqs_mhz,
+                                       std::size_t stride) {
+  DSEM_ENSURE(!freqs_mhz.empty(), "sched: artifact has no frequencies");
+  std::vector<double> out;
+  for (std::size_t i = 0; i < freqs_mhz.size(); i += stride) {
+    out.push_back(freqs_mhz[i]);
+  }
+  if (out.back() != freqs_mhz.back()) {
+    out.push_back(freqs_mhz.back());
+  }
+  DSEM_ENSURE(std::is_sorted(out.begin(), out.end()),
+              "sched: artifact frequency schedule must ascend");
+  return out;
+}
+
+} // namespace
+
+FrequencyPick pick_deadline_frequency(std::span<const double> time_s,
+                                      std::span<const double> energy_j,
+                                      double start_s, double deadline_s,
+                                      double margin) {
+  DSEM_ENSURE(time_s.size() == energy_j.size() && !time_s.empty(),
+              "sched: candidate arrays must be non-empty and aligned");
+  DSEM_ENSURE(margin > 0.0, "sched: margin must be > 0");
+  FrequencyPick pick;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < time_s.size(); ++i) {
+    if (start_s + margin * time_s[i] <= deadline_s &&
+        energy_j[i] < best_energy) {
+      best_energy = energy_j[i];
+      pick.index = i;
+      pick.feasible = true;
+    }
+  }
+  if (!pick.feasible) {
+    pick.index = time_s.size() - 1; // run-at-max fallback
+  }
+  return pick;
+}
+
+int place_first_fit(std::span<const double> rank_free_s) {
+  DSEM_ENSURE(!rank_free_s.empty(), "sched: no ranks");
+  std::size_t best = 0;
+  for (std::size_t rank = 1; rank < rank_free_s.size(); ++rank) {
+    if (rank_free_s[rank] < rank_free_s[best]) {
+      best = rank;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+ClusterScheduler::ClusterScheduler(celerity::Cluster& cluster,
+                                   const serve::ModelRegistry& registry,
+                                   SchedConfig config)
+    : cluster_(cluster), registry_(registry), config_(std::move(config)) {
+  DSEM_ENSURE(config_.margin > 0.0, "sched: margin must be > 0");
+  DSEM_ENSURE(config_.freq_stride >= 1, "sched: freq_stride must be >= 1");
+}
+
+std::vector<JobOutcome>
+ClusterScheduler::run(std::span<const serve::TimedJob> jobs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  stats_ = SchedStats{};
+  stats_.jobs = jobs.size();
+
+  ThreadPool& pool = config_.pool ? *config_.pool : ThreadPool::global();
+  const sim::DeviceSpec& spec = cluster_.device(0).spec();
+  const double default_mhz = cluster_.device(0).default_frequency();
+  const bool model_driven = config_.frequency == FrequencyPolicy::kModel;
+
+  // Resolve one immutable artifact snapshot per application up front —
+  // like ServeLoop, decisions within one run never mix model versions.
+  std::map<std::string,
+           std::shared_ptr<const serve::ModelArtifact>> artifacts;
+  if (model_driven) {
+    for (const auto& job : jobs) {
+      auto& slot = artifacts[job.spec.application];
+      if (slot == nullptr) {
+        slot = registry_.require(
+            serve::ModelKey{job.spec.application, config_.device});
+        DSEM_ENSURE(slot->is_domain_specific(),
+                    "sched: scheduler requires a domain-specific model "
+                    "for " + slot->key.to_string());
+      }
+    }
+  }
+
+  // Baselines pin the cluster clock up front through the broadcast path
+  // and honor what each rank actually reports: a rank that rejected the
+  // request keeps — and is accounted at — its real clock.
+  std::vector<double> rank_clock_mhz(
+      static_cast<std::size_t>(cluster_.size()), 0.0);
+  if (config_.frequency == FrequencyPolicy::kMaxClock) {
+    const auto supported = cluster_.device(0).supported_frequencies();
+    DSEM_ENSURE(!supported.empty(), "sched: device reports no frequencies");
+    const double max_mhz =
+        *std::max_element(supported.begin(), supported.end());
+    for (const auto& result : cluster_.set_frequency_all(max_mhz)) {
+      if (!result.ok) {
+        ++stats_.clock_rejections;
+      }
+      rank_clock_mhz[static_cast<std::size_t>(result.rank)] =
+          result.actual_mhz;
+    }
+  }
+
+  // Phase 1 — parallel precompute into pre-sized slots: the deadline
+  // (reference runtime at the default clock, noise-free) and, under the
+  // model policy, the predicted time/energy curves over the candidates.
+  std::vector<JobPlan> plans(jobs.size());
+  parallel_for(pool, 0, jobs.size(), [&](std::size_t i) {
+    const serve::TimedJob& job = jobs[i];
+    JobPlan& plan = plans[i];
+
+    const auto workload = serve::make_workload(job.spec);
+    sim::Device ref_device(spec, sim::NoiseConfig::none(), 0);
+    synergy::Device ref_synergy(ref_device);
+    synergy::Queue ref_queue(ref_synergy, synergy::ExecMode::kSimOnly);
+    ref_queue.set_profile_cache(&profile_cache_);
+    workload->submit(ref_queue);
+    plan.ref_time_s = ref_queue.total_time_s();
+    plan.ref_energy_j = ref_queue.total_energy_j();
+    plan.deadline_s = job.arrival_s + job.deadline_slack * plan.ref_time_s;
+
+    if (model_driven) {
+      // The model contributes the frequency *shape* (predicted speedup
+      // and normalized energy, §4.2.3 — what the domain-specific family
+      // is good at), anchored at the job's true default-clock reference
+      // point so absolute-scale prediction bias cancels per job.
+      const auto& artifact = *artifacts.at(job.spec.application);
+      plan.cand_freqs_mhz =
+          strided_candidates(artifact.freqs_mhz, config_.freq_stride);
+      const core::Prediction pred = artifact.ds->predict(
+          job.request.features, plan.cand_freqs_mhz,
+          artifact.default_freq_mhz);
+      plan.cand_time_s.reserve(pred.speedup.size());
+      plan.cand_energy_j.reserve(pred.norm_energy.size());
+      for (std::size_t k = 0; k < pred.speedup.size(); ++k) {
+        DSEM_ENSURE(pred.speedup[k] > 0.0,
+                    "sched: model predicted non-positive speedup");
+        plan.cand_time_s.push_back(plan.ref_time_s / pred.speedup[k]);
+        plan.cand_energy_j.push_back(plan.ref_energy_j *
+                                     pred.norm_energy[k]);
+      }
+    }
+  });
+
+  // Phase 2 — sequential admission, placement, and execution in arrival
+  // order. Each job runs on a replica device seeded by its trace index,
+  // so its true cost at a given clock is identical on every rank, under
+  // every policy, for every pool size.
+  std::vector<JobOutcome> outcomes(jobs.size());
+  std::vector<double> rank_free_s(
+      static_cast<std::size_t>(cluster_.size()), 0.0);
+  std::vector<double> rank_busy_s(rank_free_s.size(), 0.0);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const serve::TimedJob& job = jobs[i];
+    const JobPlan& plan = plans[i];
+    JobOutcome& outcome = outcomes[i];
+    outcome.deadline_s = plan.deadline_s;
+
+    // Placement + clock choice.
+    int rank = -1;
+    FrequencyPick pick;
+    if (model_driven && config_.placement == Placement::kEnergyGreedy) {
+      // Best (rank, clock) pair: prefer feasibility, then predicted
+      // energy, then earlier start, then lower rank.
+      for (int r = 0; r < cluster_.size(); ++r) {
+        const double start =
+            std::max(job.arrival_s, rank_free_s[static_cast<std::size_t>(r)]);
+        const FrequencyPick p = pick_deadline_frequency(
+            plan.cand_time_s, plan.cand_energy_j, start, plan.deadline_s,
+            config_.margin);
+        const bool better =
+            rank < 0 ||
+            (p.feasible && !pick.feasible) ||
+            (p.feasible == pick.feasible &&
+             plan.cand_energy_j[p.index] < plan.cand_energy_j[pick.index]);
+        if (better) {
+          rank = r;
+          pick = p;
+        }
+      }
+    } else {
+      // First fit: earliest-available rank (baselines always use this —
+      // without predictions there is no energy order to be greedy over).
+      rank = place_first_fit(rank_free_s);
+      if (model_driven) {
+        const double start = std::max(
+            job.arrival_s, rank_free_s[static_cast<std::size_t>(rank)]);
+        pick = pick_deadline_frequency(plan.cand_time_s, plan.cand_energy_j,
+                                       start, plan.deadline_s,
+                                       config_.margin);
+      }
+    }
+
+    if (model_driven && !pick.feasible) {
+      outcome.infeasible = true;
+      ++stats_.infeasible;
+      if (config_.fallback == Fallback::kReject) {
+        outcome.rejected = true;
+        outcome.missed = true;
+        ++stats_.rejected;
+        ++stats_.misses;
+        continue;
+      }
+    }
+
+    const auto rank_index = static_cast<std::size_t>(rank);
+    outcome.rank = rank;
+    outcome.start_s = std::max(job.arrival_s, rank_free_s[rank_index]);
+    if (model_driven) {
+      outcome.freq_mhz = plan.cand_freqs_mhz[pick.index];
+      outcome.predicted_time_s = plan.cand_time_s[pick.index];
+      outcome.predicted_energy_j = plan.cand_energy_j[pick.index];
+    } else {
+      outcome.freq_mhz = rank_clock_mhz[rank_index];
+    }
+
+    // True execution on the job's own replica (fault injection on the
+    // cluster devices stays confined to the clock-broadcast path).
+    sim::Device replica = cluster_.device(rank).simulated().replica(
+        derive_seed(config_.seed, static_cast<std::uint64_t>(i)));
+    replica.set_fault_config({});
+    synergy::Device device(replica);
+    synergy::Queue queue(device, synergy::ExecMode::kSimOnly);
+    queue.set_profile_cache(&profile_cache_);
+    if (outcome.freq_mhz > 0.0) {
+      queue.set_target_frequency(outcome.freq_mhz);
+    }
+    serve::make_workload(job.spec)->submit(queue);
+
+    outcome.true_time_s = queue.total_time_s();
+    outcome.true_energy_j = queue.total_energy_j();
+    outcome.finish_s = outcome.start_s + outcome.true_time_s;
+    outcome.missed = outcome.finish_s > outcome.deadline_s;
+
+    rank_free_s[rank_index] = outcome.finish_s;
+    rank_busy_s[rank_index] += outcome.true_time_s;
+    stats_.busy_energy_j += outcome.true_energy_j;
+    ++stats_.completed;
+    if (outcome.missed) {
+      ++stats_.misses;
+    }
+    stats_.makespan_s = std::max(stats_.makespan_s, outcome.finish_s);
+    metrics::histogram("sched.turnaround_s",
+                       outcome.finish_s - job.arrival_s);
+  }
+
+  // Idle draw closes the cluster energy account: every rank burns its
+  // standing-clock idle power over its gaps up to the makespan.
+  for (std::size_t r = 0; r < rank_free_s.size(); ++r) {
+    const double idle_mhz =
+        rank_clock_mhz[r] > 0.0 ? rank_clock_mhz[r] : default_mhz;
+    const double idle_s = stats_.makespan_s - rank_busy_s[r];
+    stats_.idle_energy_j += sim::idle_power_w(spec, idle_mhz) * idle_s;
+  }
+  stats_.energy_j = stats_.busy_energy_j + stats_.idle_energy_j;
+
+  if (config_.frequency == FrequencyPolicy::kMaxClock) {
+    cluster_.reset_frequency_all();
+  }
+
+  metrics::counter("sched.jobs", stats_.jobs);
+  metrics::counter("sched.completed", stats_.completed);
+  metrics::counter("sched.rejected", stats_.rejected);
+  metrics::counter("sched.misses", stats_.misses);
+  metrics::counter("sched.infeasible", stats_.infeasible);
+  metrics::counter("sched.clock_rejections", stats_.clock_rejections);
+  metrics::gauge("sched.energy_j", stats_.energy_j,
+                 metrics::Reliability::kDeterministic);
+  metrics::gauge("sched.busy_energy_j", stats_.busy_energy_j,
+                 metrics::Reliability::kDeterministic);
+  metrics::gauge("sched.idle_energy_j", stats_.idle_energy_j,
+                 metrics::Reliability::kDeterministic);
+  metrics::gauge("sched.makespan_s", stats_.makespan_s,
+                 metrics::Reliability::kDeterministic);
+
+  stats_.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  return outcomes;
+}
+
+} // namespace dsem::sched

@@ -23,7 +23,8 @@ constexpr std::size_t kParallelMinRequests = 4;
 } // namespace
 
 std::size_t pick_within_slowdown(const core::Prediction& pred,
-                                 double max_slowdown) {
+                                 double max_slowdown,
+                                 bool* budget_infeasible) {
   const std::vector<std::size_t> front = pred.pareto_indices();
   DSEM_ENSURE(!front.empty(), "advisor: empty Pareto front");
   // Fallback: the highest-speedup front point (front is sorted by
@@ -36,6 +37,9 @@ std::size_t pick_within_slowdown(const core::Prediction& pred,
       pick = i;
       found = true;
     }
+  }
+  if (budget_infeasible != nullptr) {
+    *budget_infeasible = !found;
   }
   return pick;
 }
@@ -70,7 +74,9 @@ AdviseAnswer Advisor::advise(const ModelArtifact& artifact,
 
   const core::Prediction pred = artifact.ds->predict(
       request.features, artifact.freqs_mhz, artifact.default_freq_mhz);
-  const std::size_t pick = pick_within_slowdown(pred, request.max_slowdown);
+  bool infeasible = false;
+  const std::size_t pick =
+      pick_within_slowdown(pred, request.max_slowdown, &infeasible);
 
   AdviseAnswer answer;
   answer.freq_mhz = pred.freqs_mhz[pick];
@@ -78,6 +84,7 @@ AdviseAnswer Advisor::advise(const ModelArtifact& artifact,
   answer.predicted_energy_j = pred.energy_j[pick];
   answer.predicted_speedup = pred.speedup[pick];
   answer.predicted_norm_energy = pred.norm_energy[pick];
+  answer.budget_infeasible = infeasible;
   return answer;
 }
 

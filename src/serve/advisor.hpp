@@ -37,10 +37,13 @@ struct AdviseRequest {
 
 /// Index into `pred` of the advised frequency: the lowest predicted
 /// normalized energy among Pareto-front points within the slowdown
-/// budget; falls back to the highest-speedup front point when nothing
-/// qualifies (same policy as the frequency_advisor example).
+/// budget. When the budget is tighter than every front point, the answer
+/// is the highest-speedup (fastest) front point and `*budget_infeasible`
+/// (when non-null) is set — callers must see the miss explicitly instead
+/// of mistaking the fallback for a within-budget pick.
 std::size_t pick_within_slowdown(const core::Prediction& pred,
-                                 double max_slowdown);
+                                 double max_slowdown,
+                                 bool* budget_infeasible = nullptr);
 
 /// Deterministic cache key for a query against a given model.
 ///

@@ -20,6 +20,26 @@ ServeLoop::ServeLoop(const ModelRegistry& registry, ServeConfig config)
   DSEM_ENSURE(!config_.device.empty(), "serve: empty device name");
 }
 
+std::shared_ptr<const ModelArtifact>
+ServeLoop::resolve_artifact(const std::string& app) {
+  auto artifact = registry_.require(ModelKey{app, config_.device});
+  auto& last = artifacts_[app];
+  if (last != nullptr && last != artifact) {
+    // The registry swapped the snapshot behind this key: every cached
+    // answer computed with the old model is stale. Cache keys start with
+    // "app/device|", so one prefix sweep drops exactly this model's
+    // entries.
+    const std::size_t dropped =
+        cache_.erase_prefix(artifact->key.to_string() + "|");
+    if (dropped > 0) {
+      stats_.cache_invalidations += dropped;
+      metrics::counter("serve.cache.invalidations", dropped);
+    }
+  }
+  last = artifact;
+  return artifact;
+}
+
 std::vector<AdviseResponse>
 ServeLoop::run(std::span<const TimedRequest> trace) {
   for (std::size_t i = 1; i < trace.size(); ++i) {
@@ -76,6 +96,17 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
     waiting.erase(waiting.begin(), waiting.begin() + batch_count);
     ++stats_.batches;
 
+    // Resolve the batch's artifacts from the registry FIRST: a replaced
+    // snapshot invalidates its cached answers before any lookup below can
+    // serve them (the re-registration staleness bug, ROADMAP item 1).
+    std::map<std::string, std::shared_ptr<const ModelArtifact>> artifacts;
+    for (const std::size_t index : batch) {
+      const std::string& app = trace[index].request.application;
+      if (!artifacts.contains(app)) {
+        artifacts[app] = resolve_artifact(app);
+      }
+    }
+
     // Cache lookups see the cache as of batch start (no insertions
     // happen until the whole batch is answered); hits refresh recency in
     // logical request order. Identical keys that miss together are
@@ -98,12 +129,10 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
       }
     }
 
-    // Batched inference for the misses, one artifact per application.
-    // Answers land in slots indexed by batch position.
-    std::map<std::string, std::shared_ptr<const ModelArtifact>> artifacts;
+    // Batched inference for the misses, against the snapshots resolved at
+    // batch start. Answers land in slots indexed by batch position.
     for (const auto& [app, positions] : misses_by_app) {
-      const auto artifact =
-          registry_.require(ModelKey{app, config_.device});
+      const auto& artifact = artifacts.at(app);
       std::vector<AdviseRequest> requests;
       requests.reserve(positions.size());
       for (const std::size_t b : positions) {
@@ -114,7 +143,6 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
       for (std::size_t k = 0; k < positions.size(); ++k) {
         responses[batch[positions[k]]].answer = answers[k];
       }
-      artifacts[app] = artifact;
     }
 
     // Sequential service in simulated time, then cache insertions in
@@ -128,18 +156,8 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
       response.completion_s = now_s;
       response.latency_s = now_s - response.arrival_s;
       const std::string& app = trace[batch[b]].request.application;
-      if (const auto it = artifacts.find(app); it != artifacts.end()) {
-        response.model = it->second->key.to_string() + "@" +
-                         it->second->origin;
-      } else {
-        // All of this app's batch entries were hits; resolve provenance
-        // without recomputing.
-        const auto artifact =
-            registry_.require(ModelKey{app, config_.device});
-        response.model =
-            artifact->key.to_string() + "@" + artifact->origin;
-        artifacts[app] = artifact;
-      }
+      const auto& artifact = artifacts.at(app);
+      response.model = artifact->key.to_string() + "@" + artifact->origin;
       if (!hit[b]) {
         cache_.put(keys[b], response.answer);
       }

@@ -16,12 +16,22 @@
 //    chance of meeting its deadline).
 //  - Each batch's cache lookups see the cache as of batch start; the
 //    batch's answers are then inserted in logical request order. Cache
-//    content is therefore a function of the request sequence alone.
+//    content is therefore a function of the request sequence and the
+//    registration sequence alone.
+//  - Model artifacts are re-resolved from the registry at every batch
+//    start, BEFORE the cache lookups. When the resolved snapshot differs
+//    from the one that produced the cached answers (a put() replaced the
+//    model), every cached answer of that (application, device) key is
+//    invalidated first — a re-registration mid-trace (or between run()
+//    calls; the cache persists) flips answers immediately instead of
+//    serving the old model's cached picks.
 //  - Responses are returned indexed by trace position (pre-sized slots).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -72,6 +82,8 @@ struct ServeStats {
   std::uint64_t shed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Cached answers dropped because their model was re-registered.
+  std::uint64_t cache_invalidations = 0;
   std::uint64_t batches = 0;
   double p50_latency_s = 0.0; ///< served requests only
   double p99_latency_s = 0.0;
@@ -111,11 +123,20 @@ public:
   LruCache& cache() noexcept { return cache_; }
 
 private:
+  /// Resolves the artifact serving `app` right now, invalidating the
+  /// cached answers of a replaced snapshot (counted in the per-run stats).
+  std::shared_ptr<const ModelArtifact> resolve_artifact(
+      const std::string& app);
+
   const ModelRegistry& registry_;
   ServeConfig config_;
   Advisor advisor_;
   LruCache cache_;
   ServeStats stats_;
+  /// Last-served artifact per application: the snapshot the cache's
+  /// answers were computed with. Persists across run() calls, like the
+  /// cache itself.
+  std::map<std::string, std::shared_ptr<const ModelArtifact>> artifacts_;
 };
 
 } // namespace dsem::serve

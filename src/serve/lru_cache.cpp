@@ -29,6 +29,20 @@ void LruCache::put(const std::string& key, const AdviseAnswer& answer) {
   map_.emplace(key, order_.begin());
 }
 
+std::size_t LruCache::erase_prefix(const std::string& prefix) {
+  std::size_t erased = 0;
+  for (auto it = order_.begin(); it != order_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      map_.erase(it->first);
+      it = order_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
 void LruCache::clear() {
   map_.clear();
   order_.clear();

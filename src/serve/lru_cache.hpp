@@ -25,6 +25,9 @@ struct AdviseAnswer {
   double predicted_energy_j = 0.0;
   double predicted_speedup = 0.0;
   double predicted_norm_energy = 0.0;
+  /// True when the slowdown budget admitted no Pareto point, so the
+  /// answer is the fastest front point rather than a within-budget one.
+  bool budget_infeasible = false;
 
   bool operator==(const AdviseAnswer&) const = default;
 };
@@ -44,6 +47,11 @@ public:
   void put(const std::string& key, const AdviseAnswer& answer);
 
   void clear();
+
+  /// Drops every entry whose key starts with `prefix`; returns the count.
+  /// The serving loop uses this to invalidate one model's answers when a
+  /// re-registration swaps the artifact behind its (app, device) key.
+  std::size_t erase_prefix(const std::string& prefix);
 
   /// Keys from most- to least-recently used (golden eviction tests).
   std::vector<std::string> keys_mru() const;

@@ -4,7 +4,6 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "core/workload.hpp"
 
 namespace dsem::serve {
 
@@ -27,38 +26,37 @@ int log_uniform_between(Rng& rng, int lo, int hi) {
 }
 
 /// Distinct LiGen inputs, spanning the ranges the training grids cover.
-std::vector<std::vector<double>> ligen_population(Rng& rng,
-                                                  std::size_t count) {
-  std::vector<std::vector<double>> out;
+std::vector<WorkloadSpec> ligen_population(Rng& rng, std::size_t count) {
+  std::vector<WorkloadSpec> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const int ligands = log_uniform_between(rng, 16, 10000);
-    const int atoms = uniform_between(rng, 16, 96);
-    const int fragments = uniform_between(rng, 2, 24);
-    out.push_back(
-        core::LigenWorkload(ligands, atoms, fragments).domain_features());
+    WorkloadSpec spec;
+    spec.application = "ligen";
+    spec.ligands = log_uniform_between(rng, 16, 10000);
+    spec.atoms = uniform_between(rng, 16, 96);
+    spec.fragments = uniform_between(rng, 2, 24);
+    out.push_back(std::move(spec));
   }
   return out;
 }
 
 /// Distinct Cronos inputs (grid shapes; 10-step runs like training).
-std::vector<std::vector<double>> cronos_population(Rng& rng,
-                                                   std::size_t count) {
-  std::vector<std::vector<double>> out;
+std::vector<WorkloadSpec> cronos_population(Rng& rng, std::size_t count) {
+  std::vector<WorkloadSpec> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    cronos::GridDims dims;
-    dims.nx = uniform_between(rng, 8, 160);
-    dims.ny = uniform_between(rng, 8, 160);
-    dims.nz = uniform_between(rng, 8, 160);
-    out.push_back(core::CronosWorkload(dims, 10).domain_features());
+    WorkloadSpec spec;
+    spec.application = "cronos";
+    spec.dims.nx = uniform_between(rng, 8, 160);
+    spec.dims.ny = uniform_between(rng, 8, 160);
+    spec.dims.nz = uniform_between(rng, 8, 160);
+    spec.steps = 10;
+    out.push_back(std::move(spec));
   }
   return out;
 }
 
-} // namespace
-
-std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
+void check_config(const TrafficConfig& config) {
   DSEM_ENSURE(config.arrival_rate_hz > 0.0,
               "traffic: arrival rate must be > 0");
   DSEM_ENSURE(config.ligen_fraction >= 0.0 && config.ligen_fraction <= 1.0,
@@ -66,7 +64,13 @@ std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
   DSEM_ENSURE(config.population > 0, "traffic: empty input population");
   DSEM_ENSURE(!config.slowdown_budgets.empty(),
               "traffic: no slowdown budgets");
+}
 
+/// The shared sampling core: arrivals, application mix, input picks, and
+/// budgets come from the same two seed streams for request and job
+/// traces, so both trace flavours of one config describe the same load.
+template <typename Emit>
+void sample_trace(const TrafficConfig& config, const Emit& emit) {
   // Independent streams for population construction and arrivals, so
   // changing the population size does not reshuffle arrival times.
   Rng population_rng(derive_seed(config.seed, 0));
@@ -75,8 +79,6 @@ std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
   const auto ligen = ligen_population(population_rng, config.population);
   const auto cronos = cronos_population(population_rng, config.population);
 
-  std::vector<TimedRequest> trace;
-  trace.reserve(config.requests);
   double now = 0.0;
   for (std::size_t i = 0; i < config.requests; ++i) {
     now += -std::log(1.0 - arrival_rng.uniform()) / config.arrival_rate_hz;
@@ -85,15 +87,67 @@ std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
     const std::size_t input = arrival_rng.uniform_int(population.size());
     const std::size_t budget =
         arrival_rng.uniform_int(config.slowdown_budgets.size());
-
-    TimedRequest timed;
-    timed.arrival_s = now;
-    timed.request.application = is_ligen ? "ligen" : "cronos";
-    timed.request.features = population[input];
-    timed.request.max_slowdown = config.slowdown_budgets[budget];
-    trace.push_back(std::move(timed));
+    emit(now, population[input], config.slowdown_budgets[budget]);
   }
+}
+
+AdviseRequest request_for(const WorkloadSpec& spec, double max_slowdown) {
+  AdviseRequest request;
+  request.application = spec.application;
+  request.features = make_workload(spec)->domain_features();
+  request.max_slowdown = max_slowdown;
+  return request;
+}
+
+} // namespace
+
+std::unique_ptr<core::Workload> make_workload(const WorkloadSpec& spec) {
+  if (spec.application == "cronos") {
+    return std::make_unique<core::CronosWorkload>(spec.dims, spec.steps);
+  }
+  DSEM_ENSURE(spec.application == "ligen",
+              "traffic: unknown application \"" + spec.application + "\"");
+  return std::make_unique<core::LigenWorkload>(spec.ligands, spec.atoms,
+                                               spec.fragments);
+}
+
+std::vector<TimedRequest> generate_trace(const TrafficConfig& config) {
+  check_config(config);
+  std::vector<TimedRequest> trace;
+  trace.reserve(config.requests);
+  sample_trace(config, [&](double arrival_s, const WorkloadSpec& spec,
+                           double max_slowdown) {
+    TimedRequest timed;
+    timed.arrival_s = arrival_s;
+    timed.request = request_for(spec, max_slowdown);
+    trace.push_back(std::move(timed));
+  });
   return trace;
+}
+
+std::vector<TimedJob> generate_job_trace(const TrafficConfig& config) {
+  check_config(config);
+  DSEM_ENSURE(!config.deadline_slacks.empty(),
+              "traffic: no deadline slacks");
+  for (const double slack : config.deadline_slacks) {
+    DSEM_ENSURE(slack > 0.0, "traffic: deadline slack must be > 0");
+  }
+  // Slacks draw from their own stream: job traces keep the arrivals and
+  // inputs of the plain request trace byte for byte.
+  Rng deadline_rng(derive_seed(config.seed, 2));
+  std::vector<TimedJob> jobs;
+  jobs.reserve(config.requests);
+  sample_trace(config, [&](double arrival_s, const WorkloadSpec& spec,
+                           double max_slowdown) {
+    TimedJob job;
+    job.arrival_s = arrival_s;
+    job.deadline_slack = config.deadline_slacks[deadline_rng.uniform_int(
+        config.deadline_slacks.size())];
+    job.spec = spec;
+    job.request = request_for(spec, max_slowdown);
+    jobs.push_back(std::move(job));
+  });
+  return jobs;
 }
 
 } // namespace dsem::serve

@@ -57,6 +57,45 @@ TEST(Cluster, BroadcastFrequencyControl) {
   }
 }
 
+TEST(Cluster, BroadcastSurfacesPerRankClockRejections) {
+  Cluster cluster(sim::v100(), ClusterConfig{8, {}});
+  sim::FaultConfig faults;
+  faults.set_frequency_rate = 0.5;
+  for (int r = 0; r < cluster.size(); ++r) {
+    cluster.device(r).simulated().set_fault_config(faults);
+  }
+
+  const auto results = cluster.set_frequency_all(700.0);
+  ASSERT_EQ(results.size(), 8u);
+  std::size_t rejected = 0;
+  for (int r = 0; r < cluster.size(); ++r) {
+    const auto& result = results[static_cast<std::size_t>(r)];
+    EXPECT_EQ(result.rank, r);
+    // Every rank reports the clock it actually runs at, rejection or not.
+    EXPECT_DOUBLE_EQ(result.actual_mhz,
+                     cluster.device(r).current_frequency());
+    if (result.ok) {
+      EXPECT_TRUE(result.error.empty());
+      EXPECT_NEAR(result.actual_mhz, 700.0, 8.0);
+    } else {
+      ++rejected;
+      EXPECT_FALSE(result.error.empty());
+      // A rejected rank keeps its previous (default) clock.
+      EXPECT_NEAR(result.actual_mhz, cluster.device(r).default_frequency(),
+                  8.0);
+    }
+  }
+  // At a 50% fault rate over 8 ranks, the deterministic fault schedule
+  // rejects at least one rank (pinned: all-pass would hide the bug this
+  // API exists to surface).
+  EXPECT_GT(rejected, 0u);
+
+  // reset_frequency never throws, so the reset broadcast reports all-ok.
+  for (const auto& result : cluster.reset_frequency_all()) {
+    EXPECT_TRUE(result.ok);
+  }
+}
+
 TEST(Cluster, TotalEnergySumsRanks) {
   Cluster cluster(sim::v100(), ClusterConfig{3, {}},
                   sim::NoiseConfig::none());

@@ -47,6 +47,46 @@ TEST(AdvisorTest, PickFallsBackToFastestWhenNothingQualifies) {
   EXPECT_EQ(pick_within_slowdown(pred, 0.0), 3u);
 }
 
+TEST(AdvisorTest, PickReportsBudgetInfeasibility) {
+  bool infeasible = true;
+  EXPECT_EQ(pick_within_slowdown(pareto_prediction(), 0.03, &infeasible),
+            2u);
+  EXPECT_FALSE(infeasible);
+
+  core::Prediction shifted = pareto_prediction();
+  for (double& s : shifted.speedup) {
+    s -= 0.5; // front slowdowns become {0.60, 0.55, 0.51, 0.50}
+  }
+  // A 30% budget admits nothing: the answer falls back to the fastest
+  // front point (index 3) with the flag raised.
+  EXPECT_EQ(pick_within_slowdown(shifted, 0.30, &infeasible), 3u);
+  EXPECT_TRUE(infeasible);
+  // 55% re-admits slowdowns {0.55, 0.51, 0.50}; the cheapest of their
+  // energies {0.60, 0.80, 1.00} is index 1.
+  EXPECT_EQ(pick_within_slowdown(shifted, 0.55, &infeasible), 1u);
+  EXPECT_FALSE(infeasible);
+}
+
+TEST(AdvisorTest, AdviseFlagsInfeasibleBudget) {
+  // Serving over a clock range capped below the baseline: every
+  // predicted speedup is < 1, so a 0% budget admits no front point.
+  serve::ModelArtifact artifact = synthetic_artifact(3);
+  artifact.freqs_mhz = {600, 800, 1000};
+
+  AdviseRequest request;
+  request.application = "cronos";
+  request.features = {16, 8, 100};
+  request.max_slowdown = 0.0;
+  const AdviseAnswer tight = Advisor{}.advise(artifact, request);
+  EXPECT_TRUE(tight.budget_infeasible);
+  // The fallback is the fastest front point, not the cheapest.
+  EXPECT_DOUBLE_EQ(tight.freq_mhz, 1000.0);
+
+  request.max_slowdown = 0.9; // loose enough for every point
+  const AdviseAnswer loose = Advisor{}.advise(artifact, request);
+  EXPECT_FALSE(loose.budget_infeasible);
+}
+
 TEST(AdvisorTest, CacheKeyGolden) {
   AdviseRequest request;
   request.application = "cronos";

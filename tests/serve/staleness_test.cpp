@@ -1,0 +1,85 @@
+// Regression for the serve-loop staleness bug: re-registering a model
+// under a live key must invalidate that model's cached answers, so the
+// next request is answered by the NEW model instead of the old model's
+// cached pick. Pre-fix, the loop resolved artifacts only for cache
+// misses and never touched the cache on re-registration, so the second
+// half of this trace kept serving seed-A answers forever.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/loop.hpp"
+#include "serve_test_util.hpp"
+
+namespace {
+
+using namespace dsem;
+using serve::AdviseResponse;
+using serve::ModelRegistry;
+using serve::ServeConfig;
+using serve::ServeLoop;
+using serve::TimedRequest;
+
+/// The same cacheable request arriving over and over, widely spaced so
+/// nothing queues or sheds.
+std::vector<TimedRequest> repeated_trace(std::size_t count) {
+  std::vector<TimedRequest> trace(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace[i].arrival_s = static_cast<double>(i);
+    trace[i].request.application = "cronos";
+    trace[i].request.features = {16.0, 8.0, 100.0};
+    trace[i].request.max_slowdown = 0.05;
+  }
+  return trace;
+}
+
+TEST(ServeStaleness, ReRegistrationInvalidatesCachedAnswers) {
+  ModelRegistry registry;
+  registry.put(serve_test::synthetic_artifact(1));
+
+  ServeConfig config;
+  config.cache_capacity = 64;
+  ServeLoop loop(registry, config);
+
+  const auto trace = repeated_trace(8);
+  const auto before = loop.run(trace);
+  ASSERT_EQ(before.size(), 8u);
+  EXPECT_FALSE(before[0].cache_hit);
+  EXPECT_TRUE(before[7].cache_hit); // the cache is warm
+  EXPECT_EQ(loop.stats().cache_invalidations, 0u);
+
+  // Mid-trace re-registration under the same key: a different seed
+  // trains a different forest, so the new model answers differently.
+  registry.put(serve_test::synthetic_artifact(2));
+
+  const auto after = loop.run(trace);
+  ASSERT_EQ(after.size(), 8u);
+  // The stale cached answers were dropped, not served: the first request
+  // after the swap misses and is answered by the new model.
+  EXPECT_FALSE(after[0].cache_hit);
+  EXPECT_GT(loop.stats().cache_invalidations, 0u);
+  EXPECT_NE(before[0].answer, after[0].answer);
+  // Later requests hit again — on the NEW model's cached answers.
+  EXPECT_TRUE(after[7].cache_hit);
+  EXPECT_EQ(after[7].answer, after[0].answer);
+}
+
+TEST(ServeStaleness, UnchangedRegistrationKeepsTheCacheWarm) {
+  ModelRegistry registry;
+  registry.put(serve_test::synthetic_artifact(1));
+
+  ServeConfig config;
+  config.cache_capacity = 64;
+  ServeLoop loop(registry, config);
+
+  const auto trace = repeated_trace(4);
+  loop.run(trace);
+  // No re-registration between runs: every answer comes from the cache.
+  const auto again = loop.run(trace);
+  EXPECT_EQ(loop.stats().cache_invalidations, 0u);
+  for (const AdviseResponse& response : again) {
+    EXPECT_TRUE(response.cache_hit);
+  }
+}
+
+} // namespace
