@@ -139,6 +139,72 @@ void print_pareto_evaluation(std::ostream& os, const std::string& title,
      << fmt(eval.ds_cmp.generational_distance, 4) << "\n";
 }
 
+void print_three_way_accuracy(std::ostream& os, const std::string& title,
+                              const core::ThreeWayAccuracyReport& report) {
+  print_banner(os, title);
+  Table table({"input", "gp_speedup_mape", "ds_speedup_mape",
+               "hy_speedup_mape", "gp_energy_mape", "ds_energy_mape",
+               "hy_energy_mape"});
+  for (const auto& row : report.rows) {
+    table.add_row({row.input, fmt(row.gp_speedup_mape, 4),
+                   fmt(row.ds_speedup_mape, 4), fmt(row.hy_speedup_mape, 4),
+                   fmt(row.gp_energy_mape, 4), fmt(row.ds_energy_mape, 4),
+                   fmt(row.hy_energy_mape, 4)});
+  }
+  table.print(os);
+  const core::ThreeWayMeans m = report.means();
+  os << "\nmean speedup MAPE: gp " << fmt(m.gp_speedup, 4) << ", ds "
+     << fmt(m.ds_speedup, 4) << ", hybrid " << fmt(m.hy_speedup, 4)
+     << "\nmean energy MAPE:  gp " << fmt(m.gp_energy, 4) << ", ds "
+     << fmt(m.ds_energy, 4) << ", hybrid " << fmt(m.hy_energy, 4) << "\n";
+}
+
+void print_three_way_pareto(std::ostream& os, const std::string& title,
+                            const core::ThreeWayParetoEvaluation& eval) {
+  print_banner(os, title);
+  const auto contains = [](std::span<const std::size_t> set, std::size_t i) {
+    return std::find(set.begin(), set.end(), i) != set.end();
+  };
+  Table table({"freq_mhz", "speedup", "norm_energy", "true_pareto",
+               "gp_predicted", "ds_predicted", "hy_predicted"});
+  for (std::size_t i = 0; i < eval.truth.freqs_mhz.size(); ++i) {
+    const bool any = contains(eval.true_front, i) ||
+                     contains(eval.gp_front, i) ||
+                     contains(eval.ds_front, i) || contains(eval.hy_front, i);
+    if (!any) {
+      continue;
+    }
+    table.add_row({fmt(eval.truth.freqs_mhz[i], 1),
+                   fmt(eval.truth.speedup[i], 4),
+                   fmt(eval.truth.norm_energy[i], 4),
+                   contains(eval.true_front, i) ? "*" : "",
+                   contains(eval.gp_front, i) ? "*" : "",
+                   contains(eval.ds_front, i) ? "*" : "",
+                   contains(eval.hy_front, i) ? "*" : ""});
+  }
+  table.print(os);
+  os << "\ntrue Pareto set: " << fmt(eval.true_front.size())
+     << " configs\n  general-purpose: " << fmt(eval.gp_front.size())
+     << " predicted, " << fmt(eval.gp_cmp.exact_matches)
+     << " exact matches, distance " << fmt(eval.gp_cmp.generational_distance, 4)
+     << "\n  domain-specific: " << fmt(eval.ds_front.size()) << " predicted, "
+     << fmt(eval.ds_cmp.exact_matches) << " exact matches, distance "
+     << fmt(eval.ds_cmp.generational_distance, 4) << "\n  hybrid:          "
+     << fmt(eval.hy_front.size()) << " predicted, "
+     << fmt(eval.hy_cmp.exact_matches) << " exact matches, distance "
+     << fmt(eval.hy_cmp.generational_distance, 4) << "\n";
+}
+
+void print_extrapolation(std::ostream& os, const std::string& title,
+                         const core::ExtrapolationReport& report) {
+  print_three_way_accuracy(os, title, report.accuracy);
+  os << "held-out (largest) inputs:";
+  for (const std::string& name : report.held_out) {
+    os << " " << name;
+  }
+  os << "\n";
+}
+
 std::vector<std::unique_ptr<core::Workload>> cronos_workloads(int steps) {
   std::vector<std::unique_ptr<core::Workload>> out;
   for (int n : {10, 20, 30, 40, 60, 80, 120, 160}) {

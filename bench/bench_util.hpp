@@ -54,6 +54,18 @@ void print_accuracy_report(std::ostream& os, const std::string& title,
 void print_pareto_evaluation(std::ostream& os, const std::string& title,
                              const core::ParetoEvaluation& eval);
 
+/// Prints the three-way (GP vs DS vs hybrid) MAPE comparison table.
+void print_three_way_accuracy(std::ostream& os, const std::string& title,
+                              const core::ThreeWayAccuracyReport& report);
+
+/// Prints the three-way predicted-Pareto comparison for one input.
+void print_three_way_pareto(std::ostream& os, const std::string& title,
+                            const core::ThreeWayParetoEvaluation& eval);
+
+/// Prints the extrapolation split (largest inputs held out) results.
+void print_extrapolation(std::ostream& os, const std::string& title,
+                         const core::ExtrapolationReport& report);
+
 /// The paper's Cronos grids (§5.1) plus interpolation-support grids.
 std::vector<std::unique_ptr<core::Workload>> cronos_workloads(int steps = 10);
 /// Names of the five canonical grids reported in Fig. 13a/b.

@@ -14,7 +14,9 @@
 #include "common/statistics.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
+#include "core/evaluation.hpp"
 #include "core/sweep_report.hpp"
+#include "microbench/suite.hpp"
 
 namespace {
 
@@ -68,6 +70,51 @@ void print_model_self_fit(std::ostream& os, const core::Workload& workload,
      << fmt_percent(stats::mape(norm_energy, pred.norm_energy)) << "\n";
 }
 
+// Three-way model-family comparison (GP vs DS vs hybrid) on a compact
+// Cronos grid: leave-one-input-out accuracy, predicted-Pareto quality for
+// the Fig. 1b input, and the extrapolation split that holds out the
+// largest grid — where the hybrid family's execution-model features are
+// designed to beat the input-size-blind GP baseline.
+void print_three_way_section(std::ostream& os, bench::Rig& rig,
+                             const core::SweepOptions& options) {
+  std::vector<std::unique_ptr<core::Workload>> workloads;
+  for (const int n : {10, 20, 40, 80, 120, 160}) {
+    const int side = std::max(4, n * 2 / 5);
+    workloads.push_back(std::make_unique<core::CronosWorkload>(
+        cronos::GridDims{n, side, side}, 10));
+  }
+  const std::vector<double> all = rig.v100.supported_frequencies();
+  std::vector<double> freqs;
+  for (std::size_t i = 0; i < all.size(); i += 8) {
+    freqs.push_back(all[i]);
+  }
+  const core::Dataset dataset =
+      core::build_dataset(rig.v100, workloads, options, freqs);
+
+  core::GeneralPurposeModel gp;
+  gp.train(rig.v100, microbench::make_suite(), options, 16);
+  const sim::DeviceSpec& spec = rig.v100.spec();
+
+  const core::ThreeWayAccuracyReport accuracy =
+      core::evaluate_accuracy_three_way(dataset, workloads, spec, gp);
+  bench::print_three_way_accuracy(
+      os, "Model families — LOOCV accuracy (GP vs DS vs hybrid), Cronos on "
+          "V100",
+      accuracy);
+
+  const core::ThreeWayParetoEvaluation pareto =
+      core::evaluate_pareto_three_way(dataset, workloads, spec, "80x32x32",
+                                      gp);
+  bench::print_three_way_pareto(
+      os, "Model families — predicted Pareto fronts for 80x32x32", pareto);
+
+  const core::ExtrapolationReport extrapolation =
+      core::evaluate_extrapolation(dataset, workloads, spec, gp);
+  bench::print_extrapolation(
+      os, "Model families — extrapolation split (largest grid held out)",
+      extrapolation);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +152,7 @@ int main(int argc, char** argv) {
   bench::print_characterization(std::cout, "Fig. 1b — Cronos on NVIDIA V100",
                                 cronos_c);
   print_model_self_fit(std::cout, cronos, cronos_c);
+  print_three_way_section(std::cout, rig, options);
   report.add_phase(
       "characterization",
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -2,12 +2,18 @@
 // LOOCV evaluation harness. The perf_ml/ suite is the strict zone of the
 // CI perf gate (perf_compare --strict-prefix perf_ml/), so keep existing
 // benchmark names stable — renames read as missing+added, not regressions.
+#include <algorithm>
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "core/hybrid_model.hpp"
+#include "core/workload.hpp"
 #include "ml/forest.hpp"
 #include "ml/svr.hpp"
 #include "ml/tree.hpp"
+#include "sim/device_spec.hpp"
 
 namespace {
 
@@ -75,6 +81,86 @@ void BM_ForestPredictBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestPredictBatch)->Unit(benchmark::kMillisecond);
+
+// Hybrid-family fixture sized like the serving path's real training job:
+// the six-grid Cronos training set swept over a 25-step frequency
+// schedule, with a smooth synthetic (time, energy) surface standing in
+// for the device sweep (the sweep itself is perf_advisor's subject).
+struct HybridBenchData {
+  std::vector<std::unique_ptr<core::Workload>> workloads;
+  core::Dataset dataset;
+  sim::DeviceSpec spec = sim::v100();
+  std::vector<double> freqs;
+  double default_freq = 1400.0;
+};
+
+const HybridBenchData& hybrid_bench_data() {
+  static const HybridBenchData* data = [] {
+    auto* d = new HybridBenchData;
+    for (double f = 600.0; f <= 1400.0; f += 800.0 / 24.0) {
+      d->freqs.push_back(f);
+    }
+    Rng rng(11);
+    std::size_t r = 0;
+    for (const int n : {10, 20, 40, 80, 120, 160}) {
+      const int side = std::max(4, n * 2 / 5);
+      d->workloads.push_back(std::make_unique<core::CronosWorkload>(
+          cronos::GridDims{n, side, side}, 10));
+    }
+    d->dataset.x = ml::Matrix(d->workloads.size() * d->freqs.size(), 4);
+    for (std::size_t g = 0; g < d->workloads.size(); ++g) {
+      const std::vector<double> features = d->workloads[g]->domain_features();
+      const double work =
+          1.0 + features[0] * features[1] * features[2] * 1e-3;
+      for (const double freq : d->freqs) {
+        auto row = d->dataset.x.row(r);
+        std::copy(features.begin(), features.end(), row.begin());
+        row[features.size()] = freq;
+        const double slowdown = d->default_freq / freq;
+        d->dataset.time_s.push_back(work * std::pow(slowdown, 0.8) *
+                                    (1.0 + 0.02 * rng.uniform()));
+        d->dataset.energy_j.push_back(
+            work * std::pow(freq / d->default_freq, 1.6) *
+            (50.0 + 5.0 * rng.uniform()));
+        d->dataset.groups.push_back(static_cast<int>(g));
+        ++r;
+      }
+      d->dataset.group_names.push_back(d->workloads[g]->name());
+      d->dataset.group_default.push_back({work, work * 52.0});
+      d->dataset.default_freq_mhz.push_back(d->default_freq);
+    }
+    return d;
+  }();
+  return *data;
+}
+
+// Full hybrid training: fused feature extraction for every group plus two
+// paper-default forests (time and energy) over the 13 + domain + clock
+// input columns.
+void BM_HybridFit(benchmark::State& state) {
+  const HybridBenchData& d = hybrid_bench_data();
+  for (auto _ : state) {
+    core::HybridModel model;
+    model.train(d.dataset, d.workloads, d.spec);
+    benchmark::DoNotOptimize(model.input_width());
+  }
+}
+BENCHMARK(BM_HybridFit)->Unit(benchmark::kMillisecond);
+
+// Serving-shaped prediction: one full frequency curve per workload, with
+// the fused feature block re-extracted per call as the advisor does.
+void BM_HybridPredictBatch(benchmark::State& state) {
+  const HybridBenchData& d = hybrid_bench_data();
+  core::HybridModel model;
+  model.train(d.dataset, d.workloads, d.spec);
+  for (auto _ : state) {
+    for (const auto& workload : d.workloads) {
+      benchmark::DoNotOptimize(
+          model.predict(*workload, d.spec, d.freqs, d.default_freq));
+    }
+  }
+}
+BENCHMARK(BM_HybridPredictBatch)->Unit(benchmark::kMillisecond);
 
 void BM_SvrFit(benchmark::State& state) {
   const auto [x, y] = make_data(static_cast<std::size_t>(state.range(0)), 4);

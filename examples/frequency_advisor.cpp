@@ -9,6 +9,8 @@
 //  - --train-out PATH: additionally save the trained model as a
 //    "dsem-model-v1" artifact; later runs pass --model-in PATH to skip
 //    the training sweep entirely (train once, load anywhere).
+//    --model-kind picks the family (ds | hybrid) and --dataset-out
+//    exports the training sweep as a "dsem-dataset-v1" document.
 //  - --serve: replay a deterministic Poisson request stream (LiGen +
 //    Cronos mix) through the serve:: loop — batched inference, LRU
 //    answer cache, admission control — and report latency percentiles,
@@ -71,26 +73,55 @@ std::vector<std::string> split_paths(const std::string& list) {
 
 /// Returns the artifact for (app, device_name), loading preferred over
 /// training: --model-in artifacts were registered up front, so a hit
-/// here skips the training sweep entirely.
+/// here skips the training sweep entirely. `kind` picks the trained
+/// family: "ds" (domain-specific) or "hybrid".
 std::shared_ptr<const serve::ModelArtifact>
 obtain_model(serve::ModelRegistry& registry, const std::string& app,
              const std::string& device_name, synergy::Device& device,
-             const core::SweepOptions& sweep, core::SweepReport& report) {
+             const core::SweepOptions& sweep, core::SweepReport& report,
+             const std::string& kind = "ds") {
   const serve::ModelKey key{app, device_name};
   if (auto loaded = registry.get(key)) {
     std::cout << "using loaded model " << key.to_string() << " ("
               << loaded->origin << ")\n";
     return loaded;
   }
+  DSEM_ENSURE(kind == "ds" || kind == "hybrid",
+              "unknown model kind: " + kind);
   std::cout << "profiling " << app << " training sweep on " << device.name()
-            << "...\n";
+            << " (" << kind << " model)...\n";
   serve::TrainConfig train;
   train.sweep = sweep;
   train.origin = "frequency_advisor";
   const auto start = std::chrono::steady_clock::now();
-  registry.put(serve::train_domain_specific(device, key, train));
+  registry.put(kind == "hybrid"
+                   ? serve::train_hybrid(device, key, train)
+                   : serve::train_domain_specific(device, key, train));
   report.add_phase("train " + app, seconds_since(start));
   return registry.require(key);
+}
+
+/// --dataset-out: export the application's full training-grid sweep as a
+/// "dsem-dataset-v1" document (the format the golden evaluation datasets
+/// under tests/data/ are pinned in).
+void export_dataset(const std::string& path, const std::string& app,
+                    synergy::Device& device, const core::SweepOptions& sweep,
+                    std::size_t stride, core::SweepReport& report) {
+  DSEM_ENSURE(stride > 0, "dataset-stride must be > 0");
+  const auto workloads = serve::training_set(app, /*compact=*/false);
+  const std::vector<double> all = device.supported_frequencies();
+  std::vector<double> freqs;
+  for (std::size_t i = 0; i < all.size(); i += stride) {
+    freqs.push_back(all[i]);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const core::Dataset dataset =
+      core::build_dataset(device, workloads, sweep, freqs);
+  report.add_phase("dataset export", seconds_since(start));
+  core::save_dataset(dataset, path);
+  std::cout << "saved " << app << " dataset (" << dataset.rows()
+            << " rows, " << dataset.num_groups() << " inputs) to " << path
+            << "\n";
 }
 
 void run_serve_mode(const CliParser& cli, serve::ModelRegistry& registry) {
@@ -156,6 +187,14 @@ int main(int argc, char** argv) {
                  "");
   cli.add_option("train-out",
                  "save the target app's trained model artifact here", "");
+  cli.add_option("model-kind",
+                 "model family to train: ds (domain-specific) | hybrid",
+                 "ds");
+  cli.add_option("dataset-out",
+                 "export the target app's training sweep as a "
+                 "dsem-dataset-v1 document", "");
+  cli.add_option("dataset-stride",
+                 "dataset-out: train on every Nth supported frequency", "8");
   cli.add_flag("serve", "replay a synthetic request stream instead of "
                         "answering one query");
   cli.add_option("requests", "serve: number of requests", "100000");
@@ -209,16 +248,18 @@ int main(int argc, char** argv) {
     registry.put(std::move(artifact));
   }
 
+  const std::string model_kind = cli.option("model-kind");
+
   if (cli.flag("serve")) {
     // Mixed traffic needs a model per application in the mix.
     const double ligen_fraction = cli.option_double("ligen-fraction");
     if (ligen_fraction < 1.0) {
       obtain_model(registry, "cronos", device_name, device, sweep_options,
-                   report);
+                   report, model_kind);
     }
     if (ligen_fraction > 0.0) {
       obtain_model(registry, "ligen", device_name, device, sweep_options,
-                   report);
+                   report, model_kind);
     }
     if (const std::string out = cli.option("train-out"); !out.empty()) {
       registry.require({app, device_name})->save_file(out);
@@ -232,8 +273,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto artifact =
-      obtain_model(registry, app, device_name, device, sweep_options, report);
+  if (const std::string out = cli.option("dataset-out"); !out.empty()) {
+    export_dataset(out, app, device, sweep_options,
+                   static_cast<std::size_t>(cli.option_int("dataset-stride")),
+                   report);
+  }
+
+  const auto artifact = obtain_model(registry, app, device_name, device,
+                                     sweep_options, report, model_kind);
   if (const std::string out = cli.option("train-out"); !out.empty()) {
     artifact->save_file(out);
     std::cout << "saved " << app << "/" << device_name << " model to " << out

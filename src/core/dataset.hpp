@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "core/measurement.hpp"
 #include "core/sweep.hpp"
 #include "ml/matrix.hpp"
@@ -57,5 +58,21 @@ Dataset build_dataset(synergy::Device& device,
                       std::span<const std::unique_ptr<Workload>> workloads,
                       int repetitions = kDefaultRepetitions,
                       std::span<const double> freqs = {});
+
+inline constexpr const char* kDatasetSchema = "dsem-dataset-v1";
+
+/// Serializes a dataset as a "dsem-dataset-v1" document (deterministic:
+/// %.17g doubles, insertion-ordered keys — byte-stable round-trips). This
+/// is how golden evaluation datasets are pinned under tests/data/ and how
+/// `frequency_advisor --dataset-out` exports a sweep.
+json::Value dataset_to_json(const Dataset& dataset);
+
+/// Parses a "dsem-dataset-v1" document; schema mismatches and malformed
+/// payloads raise contract_error.
+Dataset dataset_from_json(const json::Value& value);
+
+/// File variants: pretty-printed JSON with a trailing newline.
+void save_dataset(const Dataset& dataset, const std::string& path);
+Dataset load_dataset(const std::string& path);
 
 } // namespace dsem::core

@@ -8,6 +8,7 @@
 #include "common/statistics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "ml/model_selection.hpp"
 
 namespace dsem::core {
 
@@ -68,6 +69,10 @@ std::vector<std::size_t> training_rows_excluding(const Dataset& dataset,
 
 DomainSpecificModel make_ds_model(const ml::Regressor* prototype) {
   return prototype ? DomainSpecificModel(*prototype) : DomainSpecificModel();
+}
+
+HybridModel make_hybrid_model(const ml::Regressor* prototype) {
+  return prototype ? HybridModel(*prototype) : HybridModel();
 }
 
 } // namespace
@@ -180,6 +185,230 @@ ParetoEvaluation evaluate_pareto(
                               out.true_front, out.ds_front);
   out.gp_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
                               out.true_front, out.gp_front);
+  return out;
+}
+
+ThreeWayMeans ThreeWayAccuracyReport::means() const {
+  DSEM_ENSURE(!rows.empty(), "means over an empty three-way report");
+  ThreeWayMeans m;
+  for (const auto& r : rows) {
+    m.gp_speedup += r.gp_speedup_mape;
+    m.ds_speedup += r.ds_speedup_mape;
+    m.hy_speedup += r.hy_speedup_mape;
+    m.gp_energy += r.gp_energy_mape;
+    m.ds_energy += r.ds_energy_mape;
+    m.hy_energy += r.hy_energy_mape;
+  }
+  const auto n = static_cast<double>(rows.size());
+  m.gp_speedup /= n;
+  m.ds_speedup /= n;
+  m.hy_speedup /= n;
+  m.gp_energy /= n;
+  m.ds_energy /= n;
+  m.hy_energy /= n;
+  return m;
+}
+
+namespace {
+
+/// Scores all three families on one held-out group given its training
+/// rows. The shared kernel of the three-way LOOCV and the extrapolation
+/// split; each call trains on disjoint state and fills one pre-sized row.
+void score_three_way_fold(const Dataset& dataset,
+                          std::span<const std::unique_ptr<Workload>> workloads,
+                          const sim::DeviceSpec& spec,
+                          const GeneralPurposeModel& gp, int group,
+                          std::span<const std::size_t> train_rows,
+                          const ml::Regressor* ds_prototype,
+                          const ml::Regressor* hybrid_prototype,
+                          ThreeWayAccuracyRow& row) {
+  const auto ug = static_cast<std::size_t>(group);
+  const Workload& workload = *workloads[ug];
+  const TruthCurves truth = truth_curves(dataset, group);
+
+  DomainSpecificModel ds = make_ds_model(ds_prototype);
+  ds.train(dataset, train_rows);
+  HybridModel hybrid = make_hybrid_model(hybrid_prototype);
+  hybrid.train(dataset, workloads, spec, train_rows);
+
+  const double default_freq = dataset.default_freq_mhz[ug];
+  const Prediction ds_pred =
+      ds.predict(workload.domain_features(), truth.freqs_mhz, default_freq);
+  const Prediction hy_pred =
+      hybrid.predict(workload, spec, truth.freqs_mhz, default_freq);
+  const Prediction gp_pred =
+      gp.predict(workload.aggregate_profile(), truth.freqs_mhz, default_freq);
+
+  row.input = dataset.group_names[ug];
+  row.ds_speedup_mape = stats::mape(truth.speedup, ds_pred.speedup);
+  row.ds_energy_mape = stats::mape(truth.norm_energy, ds_pred.norm_energy);
+  row.hy_speedup_mape = stats::mape(truth.speedup, hy_pred.speedup);
+  row.hy_energy_mape = stats::mape(truth.norm_energy, hy_pred.norm_energy);
+  row.gp_speedup_mape = stats::mape(truth.speedup, gp_pred.speedup);
+  row.gp_energy_mape = stats::mape(truth.norm_energy, gp_pred.norm_energy);
+}
+
+} // namespace
+
+ThreeWayAccuracyReport evaluate_accuracy_three_way(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const sim::DeviceSpec& spec, const GeneralPurposeModel& gp,
+    std::span<const std::string> report, const ml::Regressor* ds_prototype,
+    const ml::Regressor* hybrid_prototype, ThreadPool* pool) {
+  DSEM_ENSURE(workloads.size() == dataset.num_groups(),
+              "workload list does not match dataset groups");
+
+  // Folds come from ml::model_selection: one split per distinct group
+  // label, the held-out group's rows forming the test set. Groups that
+  // never produced rows (failed sweeps) have no label and thus no fold;
+  // groups with rows but a failed baseline are filtered below.
+  const std::vector<ml::Split> splits =
+      ml::leave_one_group_out(dataset.groups);
+  std::vector<const ml::Split*> folds;
+  for (const ml::Split& s : splits) {
+    const int g = dataset.groups[s.test.front()];
+    if (!dataset.group_ok(g)) {
+      continue;
+    }
+    if (!report.empty() &&
+        std::find(report.begin(), report.end(),
+                  dataset.group_names[static_cast<std::size_t>(g)]) ==
+            report.end()) {
+      continue;
+    }
+    folds.push_back(&s);
+  }
+  DSEM_ENSURE(!folds.empty(), "three-way evaluation has no usable folds");
+
+  ThreeWayAccuracyReport out;
+  out.rows.resize(folds.size());
+  trace::Span loocv_span("loocv.evaluate3", trace::cat::kEval);
+  loocv_span.value(static_cast<double>(folds.size()));
+  parallel_for(
+      pool != nullptr ? *pool : ThreadPool::global(), 0, folds.size(),
+      [&](std::size_t i) {
+        trace::Span fold_span("loocv.fold3", trace::cat::kEval, i);
+        metrics::counter("loocv.folds3");
+        metrics::ScopedTimer fold_timer("loocv.fold3_s");
+        const ml::Split& split = *folds[i];
+        const int g = dataset.groups[split.test.front()];
+        fold_span.arg(dataset.group_names[static_cast<std::size_t>(g)]);
+        score_three_way_fold(dataset, workloads, spec, gp, g, split.train,
+                             ds_prototype, hybrid_prototype, out.rows[i]);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+ThreeWayParetoEvaluation evaluate_pareto_three_way(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const sim::DeviceSpec& spec, const std::string& target_input,
+    const GeneralPurposeModel& gp, const ml::Regressor* ds_prototype,
+    const ml::Regressor* hybrid_prototype) {
+  DSEM_ENSURE(workloads.size() == dataset.num_groups(),
+              "workload list does not match dataset groups");
+  const int g = dataset.group_of(target_input);
+  DSEM_ENSURE(dataset.group_ok(g),
+              "evaluate_pareto_three_way: target group unusable (failed "
+              "sweep): " +
+                  target_input);
+  trace::Span span("pareto.evaluate3", trace::cat::kEval);
+  span.arg(target_input);
+  metrics::ScopedTimer timer("eval.pareto3_s");
+  const auto ug = static_cast<std::size_t>(g);
+  const Workload& workload = *workloads[ug];
+
+  ThreeWayParetoEvaluation out;
+  out.truth = truth_curves(dataset, g);
+  out.true_front = pareto_front(out.truth.speedup, out.truth.norm_energy);
+
+  const std::vector<std::size_t> train_rows =
+      training_rows_excluding(dataset, g);
+  DomainSpecificModel ds = make_ds_model(ds_prototype);
+  ds.train(dataset, train_rows);
+  HybridModel hybrid = make_hybrid_model(hybrid_prototype);
+  hybrid.train(dataset, workloads, spec, train_rows);
+
+  const double default_freq = dataset.default_freq_mhz[ug];
+  const Prediction ds_pred = ds.predict(workload.domain_features(),
+                                        out.truth.freqs_mhz, default_freq);
+  const Prediction hy_pred =
+      hybrid.predict(workload, spec, out.truth.freqs_mhz, default_freq);
+  const Prediction gp_pred = gp.predict(workload.aggregate_profile(),
+                                        out.truth.freqs_mhz, default_freq);
+
+  out.ds_front = ds_pred.pareto_indices();
+  out.hy_front = hy_pred.pareto_indices();
+  out.gp_front = gp_pred.pareto_indices();
+  out.ds_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
+                              out.true_front, out.ds_front);
+  out.hy_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
+                              out.true_front, out.hy_front);
+  out.gp_cmp = compare_pareto(out.truth.speedup, out.truth.norm_energy,
+                              out.true_front, out.gp_front);
+  return out;
+}
+
+ExtrapolationReport evaluate_extrapolation(
+    const Dataset& dataset,
+    std::span<const std::unique_ptr<Workload>> workloads,
+    const sim::DeviceSpec& spec, const GeneralPurposeModel& gp,
+    std::size_t holdout_count, const ml::Regressor* ds_prototype,
+    const ml::Regressor* hybrid_prototype, ThreadPool* pool) {
+  DSEM_ENSURE(workloads.size() == dataset.num_groups(),
+              "workload list does not match dataset groups");
+  DSEM_ENSURE(holdout_count >= 1, "extrapolation needs a non-empty holdout");
+
+  // Rank usable groups by total work (sum of work items over the
+  // workload's launch classes): the largest inputs become the held-out
+  // extrapolation set, everything smaller the training range.
+  std::vector<std::pair<double, int>> by_work;
+  for (std::size_t g = 0; g < dataset.num_groups(); ++g) {
+    if (!dataset.group_ok(static_cast<int>(g))) {
+      continue;
+    }
+    double work = 0.0;
+    for (const KernelLaunch& l : workloads[g]->kernel_launches()) {
+      work += static_cast<double>(l.work_items) * l.launches;
+    }
+    by_work.emplace_back(work, static_cast<int>(g));
+  }
+  DSEM_ENSURE(by_work.size() > holdout_count,
+              "extrapolation holdout would leave no training groups");
+  std::sort(by_work.begin(), by_work.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  by_work.resize(holdout_count);
+
+  std::vector<bool> held(dataset.num_groups(), false);
+  ExtrapolationReport out;
+  for (const auto& [work, g] : by_work) {
+    held[static_cast<std::size_t>(g)] = true;
+    out.held_out.push_back(dataset.group_names[static_cast<std::size_t>(g)]);
+  }
+
+  std::vector<std::size_t> train_rows;
+  train_rows.reserve(dataset.rows());
+  for (std::size_t i = 0; i < dataset.groups.size(); ++i) {
+    if (!held[static_cast<std::size_t>(dataset.groups[i])]) {
+      train_rows.push_back(i);
+    }
+  }
+  DSEM_ENSURE(!train_rows.empty(), "extrapolation split has no training rows");
+
+  trace::Span span("extrapolation.evaluate", trace::cat::kEval);
+  span.value(static_cast<double>(holdout_count));
+  metrics::ScopedTimer timer("eval.extrapolation_s");
+  out.accuracy.rows.resize(by_work.size());
+  parallel_for(
+      pool != nullptr ? *pool : ThreadPool::global(), 0, by_work.size(),
+      [&](std::size_t i) {
+        score_three_way_fold(dataset, workloads, spec, gp, by_work[i].second,
+                             train_rows, ds_prototype, hybrid_prototype,
+                             out.accuracy.rows[i]);
+      },
+      /*grain=*/1);
   return out;
 }
 

@@ -1,0 +1,84 @@
+// Hybrid static+dynamic energy/time model — the third model family
+// (DSO-style; DESIGN.md §7.13).
+//
+// Where the domain-specific model maps [Table-2 features..., frequency] to
+// time/energy and the general-purpose baseline maps static code features
+// to ratios, the hybrid family fuses both sides: its regressors consume
+// [domain features..., hybrid block..., frequency], with the hybrid block
+// (core/kernel_features.hpp) carrying per-kernel static mix, launch
+// geometry, and the dynamic profile of one noise-free default-clock run.
+// The dynamic half gives it what pure input-feature models lack off the
+// training grid: the execution model's own scale estimate, so
+// extrapolation to unseen input sizes anchors on physics instead of tree
+// boundaries (Afzal et al., arXiv 2607.00819).
+//
+// Training and prediction are bit-identical for any thread-pool size: the
+// fused features are pure arithmetic and the regressors inherit the ml::
+// determinism contract.
+#pragma once
+
+#include <memory>
+
+#include "common/json.hpp"
+#include "core/dataset.hpp"
+#include "core/ds_model.hpp" // for Prediction
+#include "core/kernel_features.hpp"
+#include "ml/forest.hpp"
+
+namespace dsem::core {
+
+class HybridModel {
+public:
+  /// Uses clones of `prototype` for the time and energy regressors; with
+  /// `log_targets` (default) they fit log(time)/log(energy) — the same
+  /// geometric shape-blending rationale as the domain-specific family.
+  explicit HybridModel(const ml::Regressor& prototype, bool log_targets = true);
+
+  /// Random Forest with the paper-default hyperparameters.
+  HybridModel();
+
+  /// Trains on dataset rows selected by `rows` (all rows when empty).
+  /// `workloads` must be the list (same order) build_dataset consumed —
+  /// each group's fused features are recomputed from its workload on
+  /// `spec` at the group's default clock.
+  void train(const Dataset& dataset,
+             std::span<const std::unique_ptr<Workload>> workloads,
+             const sim::DeviceSpec& spec,
+             std::span<const std::size_t> rows = {});
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Predicts the full curve for one workload across `freqs_mhz`, with
+  /// speedup / normalized energy baselined on the prediction at
+  /// `default_freq_mhz` (§4.2.3).
+  Prediction predict(const Workload& workload, const sim::DeviceSpec& spec,
+                     std::span<const double> freqs_mhz,
+                     double default_freq_mhz) const;
+
+  /// Low-level variant for callers that already hold the fused vector
+  /// (fused_feature_vector); `fused` must have input_width() - 1 entries.
+  Prediction predict_fused(std::span<const double> fused,
+                           std::span<const double> freqs_mhz,
+                           double default_freq_mhz) const;
+
+  const ml::Regressor& time_model() const { return *time_model_; }
+  const ml::Regressor& energy_model() const { return *energy_model_; }
+  bool log_targets() const noexcept { return log_targets_; }
+  /// Regressor input width: fused features + 1 (frequency column).
+  std::size_t input_width() const noexcept { return input_width_; }
+
+  /// Serializes the trained model (ml/serialize) for the "dsem-model-v1"
+  /// hybrid payload. Round-trips byte-stably and predicts bit-identically
+  /// after from_json(to_json()). Throws for untrained models.
+  json::Value to_json() const;
+  static HybridModel from_json(const json::Value& value);
+
+private:
+  std::unique_ptr<ml::Regressor> time_model_;
+  std::unique_ptr<ml::Regressor> energy_model_;
+  bool log_targets_ = true;
+  bool trained_ = false;
+  std::size_t input_width_ = 0;
+};
+
+} // namespace dsem::core

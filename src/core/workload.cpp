@@ -1,5 +1,7 @@
 #include "core/workload.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "cronos/kernels.hpp"
 #include "cronos/solver.hpp"
@@ -46,6 +48,18 @@ sim::KernelProfile CronosWorkload::aggregate_profile() const {
   return agg.scaled(1.0 / items);
 }
 
+std::vector<KernelLaunch> CronosWorkload::kernel_launches() const {
+  const std::size_t cells = dims_.cell_count();
+  const std::size_t ghosts = cronos::ghost_cell_count(dims_);
+  // Every step runs three RK substeps of the same four kernels
+  // (cronos::submit_step_kernels).
+  const double per_run = 3.0 * static_cast<double>(steps_);
+  return {{cronos::compute_changes_profile(num_vars_), cells, per_run},
+          {cronos::cfl_reduce_profile(), cells, per_run},
+          {cronos::integrate_time_profile(num_vars_), cells, per_run},
+          {cronos::apply_boundary_profile(num_vars_), ghosts, per_run}};
+}
+
 LigenWorkload::LigenWorkload(int ligands, int atoms, int fragments,
                              ligen::DockingParams params,
                              std::size_t batch_size)
@@ -86,6 +100,51 @@ sim::KernelProfile LigenWorkload::aggregate_profile() const {
   agg.accumulate(ligen::dock_profile(atoms_, fragments_, params_));
   agg.accumulate(ligen::score_profile(atoms_, params_));
   return agg.scaled(0.5);
+}
+
+std::vector<KernelLaunch> LigenWorkload::kernel_launches() const {
+  // Screening batches ligands (ligen::submit_screening_kernels): full
+  // batches form one launch class per kernel, the remainder another.
+  const auto ligands = static_cast<std::size_t>(ligands_);
+  const std::size_t full = ligands / batch_size_;
+  const std::size_t rem = ligands % batch_size_;
+  const sim::KernelProfile dock =
+      ligen::dock_profile(atoms_, fragments_, params_);
+  const sim::KernelProfile score = ligen::score_profile(atoms_, params_);
+  std::vector<KernelLaunch> out;
+  if (full > 0) {
+    out.push_back({dock, batch_size_, static_cast<double>(full)});
+    out.push_back({score, batch_size_, static_cast<double>(full)});
+  }
+  if (rem > 0) {
+    out.push_back({dock, rem, 1.0});
+    out.push_back({score, rem, 1.0});
+  }
+  return out;
+}
+
+std::unique_ptr<Workload>
+workload_from_features(const std::string& application,
+                       std::span<const double> features) {
+  const auto as_int = [&](std::size_t i) {
+    DSEM_ENSURE(i < features.size() && std::isfinite(features[i]),
+                "workload_from_features: bad feature vector for " +
+                    application);
+    return static_cast<int>(std::llround(features[i]));
+  };
+  if (application == "cronos") {
+    DSEM_ENSURE(features.size() == 3,
+                "workload_from_features: cronos expects {nx, ny, nz}");
+    return std::make_unique<CronosWorkload>(
+        cronos::GridDims{as_int(0), as_int(1), as_int(2)});
+  }
+  DSEM_ENSURE(application == "ligen",
+              "workload_from_features: unknown application \"" + application +
+                  "\"");
+  DSEM_ENSURE(features.size() == 3,
+              "workload_from_features: ligen expects {ligands, fragments, "
+              "atoms}");
+  return std::make_unique<LigenWorkload>(as_int(0), as_int(2), as_int(1));
 }
 
 } // namespace dsem::core

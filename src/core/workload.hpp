@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,17 @@
 #include "synergy/queue.hpp"
 
 namespace dsem::core {
+
+/// One launch class of a workload's run: a kernel's per-item profile, its
+/// launch geometry, and how often the run launches it. The list of these
+/// is the per-kernel view the hybrid feature extractor consumes
+/// (core/kernel_features.hpp); `launches * work_items` summed over the
+/// list is the run's total work.
+struct KernelLaunch {
+  sim::KernelProfile profile;
+  std::size_t work_items = 0;
+  double launches = 1.0;
+};
 
 class Workload {
 public:
@@ -39,6 +51,12 @@ public:
   /// Work-weighted aggregate of the run's kernel profiles (per work-item),
   /// i.e. the static code features available without executing.
   virtual sim::KernelProfile aggregate_profile() const = 0;
+
+  /// The distinct kernel launch classes of one run, with launch counts and
+  /// geometry. Submitting the workload issues exactly these launches (in
+  /// some order); consumers must not depend on the list's order — the
+  /// hybrid feature extractor canonicalizes it.
+  virtual std::vector<KernelLaunch> kernel_launches() const = 0;
 };
 
 /// Cronos run: `steps` timesteps of the MHD solver on a given grid.
@@ -53,6 +71,7 @@ public:
   std::vector<std::string> feature_names() const override;
   void submit(synergy::Queue& queue) const override;
   sim::KernelProfile aggregate_profile() const override;
+  std::vector<KernelLaunch> kernel_launches() const override;
 
   const cronos::GridDims& dims() const noexcept { return dims_; }
   int steps() const noexcept { return steps_; }
@@ -76,6 +95,7 @@ public:
   std::vector<std::string> feature_names() const override;
   void submit(synergy::Queue& queue) const override;
   sim::KernelProfile aggregate_profile() const override;
+  std::vector<KernelLaunch> kernel_launches() const override;
 
   int ligands() const noexcept { return ligands_; }
   int atoms() const noexcept { return atoms_; }
@@ -88,5 +108,16 @@ private:
   ligen::DockingParams params_;
   std::size_t batch_size_;
 };
+
+/// Rebuilds a workload from its application name and Table-2 feature
+/// vector, using the canonical run shapes of the serving training sets
+/// (cronos: 10 solver steps; ligen: default docking parameters and batch
+/// size). This is how the serving layer recovers per-kernel features for
+/// hybrid-model queries that carry only domain features. Features are
+/// rounded to the nearest integer; throws for unknown applications or
+/// out-of-range values.
+std::unique_ptr<Workload>
+workload_from_features(const std::string& application,
+                       std::span<const double> features);
 
 } // namespace dsem::core

@@ -48,7 +48,11 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
     TreeParams tree_params = tp;
     tree_params.seed = rng();
 
-    std::vector<std::size_t> sample(n);
+    // One bootstrap buffer per worker thread, fully rewritten per tree:
+    // a forest draws hundreds of samples back to back, and the per-tree
+    // allocation shows up on small fits where the draw itself is cheap.
+    static thread_local std::vector<std::size_t> sample;
+    sample.resize(n);
     if (params_.bootstrap) {
       for (auto& idx : sample) {
         idx = rng.uniform_int(n);

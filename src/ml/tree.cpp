@@ -56,7 +56,16 @@ struct Candidate {
 // IEEE operations in both shapes (tie positions compute a score the
 // selection chain never consults, exactly as the fused loop's `continue`
 // never consults one), so the cutover size is a pure performance knob.
-constexpr std::size_t kBlockScanMinSamples = 16;
+//
+// The cutover is the row-count cutoff below which a node skips the
+// blocked presorted-stream machinery entirely. Small trees are made
+// almost entirely of small nodes, so the knob matters most for small
+// forests: the blocked shape pays a fixed cost (three passes plus the
+// packed filter's group logic) that only amortizes once a node spans a
+// few cache lines. Sweeping the knob on BM_ForestFit found 48 fastest
+// for /1000 and /5000 and indistinguishable from 16 at /20000, where
+// nearly all entries sit in nodes far above either value.
+constexpr std::size_t kBlockScanMinSamples = 48;
 constexpr std::size_t kScanBlock = 512;
 
 // 0, 1, 2, ... as doubles: lets the score pass form nl/nr by exact
@@ -281,6 +290,9 @@ struct DecisionTreeRegressor::Workspace {
   std::vector<Candidate> cand; ///< one slot per candidate feature
   std::vector<std::uint32_t> swap_l; ///< misfit positions, ascending
   std::vector<std::uint32_t> swap_r; ///< fit positions, descending
+  std::vector<std::size_t> boot_offset; ///< bootstrap replay: bucket bounds
+  std::vector<std::uint32_t> boot_bucket; ///< sample slots grouped by row
+  std::vector<std::size_t> boot_cursor; ///< per-row fill cursor
 
   double* stream_value(int buf, std::size_t f) noexcept {
     return value[buf].data() + f * m;
@@ -392,8 +404,11 @@ void DecisionTreeRegressor::fit_presorted(const detail::Presorted& ps,
     // feature's stream by walking the source order once and replaying each
     // source row `multiplicity` times — O(k·m) instead of k sorts. Within
     // equal (value, target) the emitted row order is bucket order, which
-    // prefix sums cannot distinguish.
-    std::vector<std::size_t> offset(ps.n + 1, 0);
+    // prefix sums cannot distinguish. The scratch lives in the recycled
+    // workspace: a forest runs this expansion once per tree, and per-fit
+    // heap churn for three small arrays is measurable on small fits.
+    std::vector<std::size_t>& offset = ws.boot_offset;
+    offset.assign(ps.n + 1, 0);
     for (std::size_t i = 0; i < m; ++i) {
       DSEM_ENSURE(sample[i] < ps.n, "fit_presorted: sample row out of range");
       ++offset[sample[i] + 1];
@@ -402,9 +417,11 @@ void DecisionTreeRegressor::fit_presorted(const detail::Presorted& ps,
     for (std::size_t r = 0; r < ps.n; ++r) {
       offset[r + 1] += offset[r];
     }
-    std::vector<std::uint32_t> bucket(m);
+    std::vector<std::uint32_t>& bucket = ws.boot_bucket;
+    bucket.resize(m);
     {
-      std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+      std::vector<std::size_t>& cursor = ws.boot_cursor;
+      cursor.assign(offset.begin(), offset.end() - 1);
       for (std::size_t i = 0; i < m; ++i) {
         bucket[cursor[sample[i]]++] = static_cast<std::uint32_t>(i);
       }

@@ -8,8 +8,10 @@
 namespace dsem::serve {
 
 json::Value ModelArtifact::to_json() const {
-  DSEM_ENSURE((ds != nullptr) != (gp != nullptr),
-              "artifact must hold exactly one model");
+  const int kinds = static_cast<int>(ds != nullptr) +
+                    static_cast<int>(gp != nullptr) +
+                    static_cast<int>(hybrid != nullptr);
+  DSEM_ENSURE(kinds == 1, "artifact must hold exactly one model");
   DSEM_ENSURE(!key.application.empty() && !key.device.empty(),
               "artifact key must name an application and a device");
   DSEM_ENSURE(!freqs_mhz.empty(), "artifact without a frequency schedule");
@@ -17,7 +19,9 @@ json::Value ModelArtifact::to_json() const {
 
   auto out = json::Value::object();
   out.set("schema", kModelSchema);
-  out.set("kind", ds ? "domain-specific" : "general-purpose");
+  out.set("kind", ds      ? "domain-specific"
+                  : gp    ? "general-purpose"
+                          : "hybrid");
   out.set("application", key.application);
   out.set("device", key.device);
   out.set("origin", origin);
@@ -32,7 +36,9 @@ json::Value ModelArtifact::to_json() const {
   }
   out.set("freqs_mhz", std::move(freqs));
   out.set("default_freq_mhz", default_freq_mhz);
-  out.set("model", ds ? ds->to_json() : gp->to_json());
+  out.set("model", ds      ? ds->to_json()
+                   : gp    ? gp->to_json()
+                           : hybrid->to_json());
   return out;
 }
 
@@ -68,6 +74,9 @@ ModelArtifact ModelArtifact::from_json(const json::Value& value) {
   } else if (kind == "general-purpose") {
     artifact.gp = std::make_shared<core::GeneralPurposeModel>(
         core::GeneralPurposeModel::from_json(value.at("model")));
+  } else if (kind == "hybrid") {
+    artifact.hybrid = std::make_shared<core::HybridModel>(
+        core::HybridModel::from_json(value.at("model")));
   } else {
     throw contract_error("model artifact: unknown kind \"" + kind + "\"");
   }

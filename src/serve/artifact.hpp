@@ -22,6 +22,7 @@
 #include "common/json.hpp"
 #include "core/ds_model.hpp"
 #include "core/gp_model.hpp"
+#include "core/hybrid_model.hpp"
 
 namespace dsem::serve {
 
@@ -37,9 +38,11 @@ struct ModelKey {
   std::string to_string() const { return application + "/" + device; }
 };
 
-/// One deployable model. Exactly one of `ds` / `gp` is set (the artifact
-/// kind); the serving loop requires `ds` — the paper's integration target
-/// feeds domain-specific predictions into per-kernel DVFS.
+/// One deployable model. Exactly one of `ds` / `gp` / `hybrid` is set (the
+/// artifact kind); the serving loop accepts `ds` and `hybrid` — both
+/// families answer per-input frequency queries, hybrid ones recomputing
+/// their fused features from the request's domain features via
+/// core::workload_from_features and the key's device preset.
 struct ModelArtifact {
   ModelKey key;
   std::string origin; ///< provenance, e.g. "trained-in-process" or a path
@@ -48,8 +51,13 @@ struct ModelArtifact {
   double default_freq_mhz = 0.0;          ///< baseline clock
   std::shared_ptr<const core::DomainSpecificModel> ds;
   std::shared_ptr<const core::GeneralPurposeModel> gp;
+  std::shared_ptr<const core::HybridModel> hybrid;
 
   bool is_domain_specific() const noexcept { return ds != nullptr; }
+  bool is_hybrid() const noexcept { return hybrid != nullptr; }
+  /// True for the kinds that can answer advisor queries (per-input
+  /// time/energy curves): domain-specific and hybrid.
+  bool is_advisable() const noexcept { return ds != nullptr || hybrid != nullptr; }
 
   /// "dsem-model-v1" document. Deterministic: calling it twice on the
   /// same artifact yields byte-identical dumps.

@@ -41,11 +41,22 @@ training_set(const std::string& app, bool compact) {
   return out;
 }
 
-ModelArtifact train_domain_specific(synergy::Device& device,
-                                    const ModelKey& key,
-                                    const TrainConfig& config) {
+namespace {
+
+/// The shared "profile the training grid" half of both train entry
+/// points: strided training frequencies, one sweep, and the artifact
+/// shell (key, provenance, full frequency grid, default clock).
+struct TrainingSweep {
+  std::vector<std::unique_ptr<core::Workload>> workloads;
+  core::Dataset dataset;
+  ModelArtifact artifact;
+};
+
+TrainingSweep run_training_sweep(synergy::Device& device, const ModelKey& key,
+                                 const TrainConfig& config) {
   DSEM_ENSURE(config.freq_stride > 0, "train: frequency stride must be > 0");
-  const auto workloads = training_set(key.application, config.compact);
+  TrainingSweep out;
+  out.workloads = training_set(key.application, config.compact);
 
   const std::vector<double> all_freqs = device.supported_frequencies();
   std::vector<double> train_freqs;
@@ -53,23 +64,43 @@ ModelArtifact train_domain_specific(synergy::Device& device,
     train_freqs.push_back(all_freqs[i]);
   }
 
-  const core::Dataset dataset =
-      core::build_dataset(device, workloads, config.sweep, train_freqs);
+  out.dataset =
+      core::build_dataset(device, out.workloads, config.sweep, train_freqs);
+
+  out.artifact.key = key;
+  out.artifact.origin = config.origin;
+  out.artifact.feature_names = out.workloads.front()->feature_names();
+  out.artifact.freqs_mhz = all_freqs;
+  out.artifact.default_freq_mhz = device.default_frequency();
+  return out;
+}
+
+} // namespace
+
+ModelArtifact train_domain_specific(synergy::Device& device,
+                                    const ModelKey& key,
+                                    const TrainConfig& config) {
+  TrainingSweep sweep = run_training_sweep(device, key, config);
 
   auto model = config.prototype != nullptr
                    ? std::make_shared<core::DomainSpecificModel>(
                          *config.prototype)
                    : std::make_shared<core::DomainSpecificModel>();
-  model->train(dataset);
+  model->train(sweep.dataset);
+  sweep.artifact.ds = std::move(model);
+  return std::move(sweep.artifact);
+}
 
-  ModelArtifact artifact;
-  artifact.key = key;
-  artifact.origin = config.origin;
-  artifact.feature_names = workloads.front()->feature_names();
-  artifact.freqs_mhz = all_freqs;
-  artifact.default_freq_mhz = device.default_frequency();
-  artifact.ds = std::move(model);
-  return artifact;
+ModelArtifact train_hybrid(synergy::Device& device, const ModelKey& key,
+                           const TrainConfig& config) {
+  TrainingSweep sweep = run_training_sweep(device, key, config);
+
+  auto model = config.prototype != nullptr
+                   ? std::make_shared<core::HybridModel>(*config.prototype)
+                   : std::make_shared<core::HybridModel>();
+  model->train(sweep.dataset, sweep.workloads, device.spec());
+  sweep.artifact.hybrid = std::move(model);
+  return std::move(sweep.artifact);
 }
 
 } // namespace dsem::serve

@@ -130,4 +130,18 @@ DeviceSpec intel_max1100() {
   return spec;
 }
 
+DeviceSpec preset_by_name(const std::string& name) {
+  if (name == "v100") {
+    return v100();
+  }
+  if (name == "mi100") {
+    return mi100();
+  }
+  if (name == "max1100") {
+    return intel_max1100();
+  }
+  DSEM_ENSURE(false, "unknown device preset: \"" + name + "\"");
+  return {}; // unreachable
+}
+
 } // namespace dsem::sim

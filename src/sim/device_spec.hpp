@@ -108,4 +108,10 @@ DeviceSpec mi100();
 /// because the SYnergy layer it models is a three-vendor API (§2.1).
 DeviceSpec intel_max1100();
 
+/// Preset lookup by short registry name: "v100", "mi100", "max1100".
+/// These are the device ids used in serving-layer model keys, so a loaded
+/// artifact can recover the spec its training run profiled against.
+/// Throws dsem::contract_error for unknown names.
+DeviceSpec preset_by_name(const std::string& name);
+
 } // namespace dsem::sim

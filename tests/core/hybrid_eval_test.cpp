@@ -1,0 +1,165 @@
+// Grouped regression suite for the hybrid model family's evaluation
+// pipeline, pinned against the golden Cronos/V100 training sweep under
+// tests/data/ (exported with `frequency_advisor --dataset-out`, see
+// EXPERIMENTS.md):
+//   - the extrapolation split (largest grid held out) where the hybrid
+//     model must beat the static-feature GP baseline on MAPE by a margin,
+//   - a MiniFig-style three-way accuracy golden (GP vs DS vs hybrid),
+//     bit-identical for thread pools of size 1, 2, and 8.
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "core/dataset.hpp"
+#include "core/evaluation.hpp"
+#include "microbench/suite.hpp"
+#include "ml/forest.hpp"
+#include "serve/train.hpp"
+#include "sim/device.hpp"
+#include "synergy/device.hpp"
+
+namespace dsem::core {
+namespace {
+
+// Seeds matching the two families' library defaults, so the pinned values
+// track what fig01 reports with default prototypes.
+constexpr std::uint64_t kDsSeed = 0x05d5;
+constexpr std::uint64_t kHybridSeed = 0x4b1d;
+
+// Shared lazily-built fixture: the golden dataset, its workload grid, and
+// a GP baseline trained on the microbenchmark suite (the expensive part).
+struct EvalFixture {
+  Dataset dataset;
+  std::vector<std::unique_ptr<Workload>> workloads;
+  sim::DeviceSpec spec;
+  GeneralPurposeModel gp;
+};
+
+EvalFixture& fixture() {
+  static EvalFixture* state = [] {
+    auto* s = new EvalFixture;
+    s->dataset = load_dataset(std::string(DSEM_TEST_DATA_DIR) +
+                              "/golden_hybrid_cronos_v100.json");
+    s->workloads = serve::training_set("cronos", /*compact=*/false);
+    s->spec = sim::v100();
+    sim::Device sim_dev(sim::v100(), sim::NoiseConfig::none());
+    synergy::Device device(sim_dev);
+    sim::ProfileCache cache;
+    SweepOptions options;
+    options.cache = &cache;
+    s->gp.train(device, microbench::make_suite(), options, 16);
+    return s;
+  }();
+  return *state;
+}
+
+ml::RandomForestRegressor prototype(std::uint64_t seed, ThreadPool* pool) {
+  ml::ForestParams params;
+  params.seed = seed;
+  params.pool = pool;
+  return ml::RandomForestRegressor(params);
+}
+
+std::string render(const ThreeWayAccuracyReport& report) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const ThreeWayAccuracyRow& row : report.rows) {
+    os << row.gp_speedup_mape << " " << row.ds_speedup_mape << " "
+       << row.hy_speedup_mape << " " << row.gp_energy_mape << " "
+       << row.ds_energy_mape << " " << row.hy_energy_mape << "\n";
+  }
+  return os.str();
+}
+
+TEST(HybridEvalTest, WorkloadGridMatchesTheGoldenDataset) {
+  EvalFixture& f = fixture();
+  ASSERT_EQ(f.workloads.size(), f.dataset.num_groups());
+  for (std::size_t g = 0; g < f.workloads.size(); ++g) {
+    EXPECT_EQ(f.workloads[g]->name(), f.dataset.group_names[g]);
+    EXPECT_TRUE(f.dataset.group_ok(static_cast<int>(g)));
+  }
+}
+
+TEST(HybridEvalTest, HybridBeatsGpOnTheExtrapolationSplit) {
+  EvalFixture& f = fixture();
+  const ExtrapolationReport report =
+      evaluate_extrapolation(f.dataset, f.workloads, f.spec, f.gp);
+  ASSERT_EQ(report.held_out.size(), 1u);
+  EXPECT_EQ(report.held_out.front(), "160x64x64");
+
+  const ThreeWayMeans m = report.accuracy.means();
+  // The pinned margin: off the training grid, the fused static+dynamic
+  // features must beat the input-size-blind GP baseline clearly, not
+  // narrowly (fig01 shows ~12x on speedup, ~3x on energy).
+  EXPECT_LT(m.hy_speedup, 0.5 * m.gp_speedup) << render(report.accuracy);
+  EXPECT_LT(m.hy_energy, 0.75 * m.gp_energy) << render(report.accuracy);
+  // And it must stay in the domain-specific family's accuracy class.
+  EXPECT_LT(m.hy_speedup, 2.0 * m.ds_speedup) << render(report.accuracy);
+  EXPECT_LT(m.hy_energy, 2.0 * m.ds_energy) << render(report.accuracy);
+}
+
+TEST(HybridEvalTest, ThreeWayAccuracyGoldenForPools128) {
+  EvalFixture& f = fixture();
+  std::vector<ThreeWayAccuracyReport> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ml::RandomForestRegressor ds_proto = prototype(kDsSeed, &pool);
+    const ml::RandomForestRegressor hy_proto = prototype(kHybridSeed, &pool);
+    reports.push_back(evaluate_accuracy_three_way(
+        f.dataset, f.workloads, f.spec, f.gp, /*report=*/{}, &ds_proto,
+        &hy_proto, &pool));
+  }
+
+  // Pool size must not leak into a single bit of the evaluation.
+  ASSERT_EQ(reports[0].rows.size(), f.dataset.num_groups());
+  for (std::size_t p = 1; p < reports.size(); ++p) {
+    ASSERT_EQ(reports[p].rows.size(), reports[0].rows.size());
+    for (std::size_t r = 0; r < reports[0].rows.size(); ++r) {
+      const ThreeWayAccuracyRow& a = reports[0].rows[r];
+      const ThreeWayAccuracyRow& b = reports[p].rows[r];
+      EXPECT_EQ(a.input, b.input);
+      EXPECT_EQ(a.gp_speedup_mape, b.gp_speedup_mape) << a.input;
+      EXPECT_EQ(a.ds_speedup_mape, b.ds_speedup_mape) << a.input;
+      EXPECT_EQ(a.hy_speedup_mape, b.hy_speedup_mape) << a.input;
+      EXPECT_EQ(a.gp_energy_mape, b.gp_energy_mape) << a.input;
+      EXPECT_EQ(a.ds_energy_mape, b.ds_energy_mape) << a.input;
+      EXPECT_EQ(a.hy_energy_mape, b.hy_energy_mape) << a.input;
+    }
+  }
+
+  // MiniFig golden: 6 MAPE columns per input, pinned under tests/data/.
+  // Any change to the models, the feature extractor, or the evaluation
+  // that moves these must be a conscious decision — update the golden
+  // with the rendered values below if it is.
+  const std::string path =
+      std::string(DSEM_TEST_DATA_DIR) + "/golden_threeway_cronos_v100.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::vector<double> golden;
+  double value = 0.0;
+  while (in >> value) {
+    golden.push_back(value);
+  }
+  const ThreeWayAccuracyReport& actual = reports[0];
+  ASSERT_EQ(golden.size(), actual.rows.size() * 6)
+      << "golden size changed; actual report:\n" << render(actual);
+  for (std::size_t r = 0; r < actual.rows.size(); ++r) {
+    const ThreeWayAccuracyRow& row = actual.rows[r];
+    const double expected[6] = {row.gp_speedup_mape, row.ds_speedup_mape,
+                                row.hy_speedup_mape, row.gp_energy_mape,
+                                row.ds_energy_mape,  row.hy_energy_mape};
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(expected[c], golden[r * 6 + c], 1e-9)
+          << "row " << r << " col " << c << "; actual report:\n"
+          << render(actual);
+    }
+  }
+}
+
+} // namespace
+} // namespace dsem::core

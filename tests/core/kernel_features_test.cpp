@@ -1,0 +1,178 @@
+// Property tests for the fused static+dynamic feature extraction behind
+// the hybrid model family (core/kernel_features.hpp): extraction is a
+// pure function of its inputs, bit-identical under any permutation of the
+// kernel launch list, finite for every workload in the LiGen/Cronos
+// grids, and rejects malformed launch lists with contract errors.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/kernel_features.hpp"
+#include "core/workload.hpp"
+#include "sim/device_spec.hpp"
+
+namespace {
+
+using namespace dsem;
+
+double profiling_freq(const sim::DeviceSpec& spec) {
+  return spec.has_fixed_default() ? spec.default_core_frequency_mhz
+                                  : spec.auto_frequency_mhz;
+}
+
+core::KernelLaunch random_launch(Rng& rng, int id) {
+  core::KernelLaunch launch;
+  launch.profile.name = "kernel_" + std::to_string(id);
+  launch.profile.int_add = rng.uniform(0.0, 64.0);
+  launch.profile.int_mul = rng.uniform(0.0, 32.0);
+  launch.profile.int_div = rng.uniform(0.0, 4.0);
+  launch.profile.int_bw = rng.uniform(0.0, 16.0);
+  launch.profile.float_add = rng.uniform(0.0, 256.0);
+  launch.profile.float_mul = rng.uniform(0.0, 256.0);
+  launch.profile.float_div = rng.uniform(0.0, 8.0);
+  launch.profile.special_fn = rng.uniform(0.0, 12.0);
+  launch.profile.global_bytes = rng.uniform(0.0, 2048.0);
+  launch.profile.local_bytes = rng.uniform(0.0, 512.0);
+  launch.profile.intra_item_parallelism = rng.uniform(1.0, 64.0);
+  launch.work_items = 1 + rng.uniform_int(2'000'000);
+  launch.launches = 1.0 + static_cast<double>(rng.uniform_int(400));
+  return launch;
+}
+
+std::vector<core::KernelLaunch> random_launch_list(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 1 + rng.uniform_int(12);
+  std::vector<core::KernelLaunch> launches;
+  for (std::size_t i = 0; i < n; ++i) {
+    launches.push_back(random_launch(rng, static_cast<int>(i)));
+  }
+  return launches;
+}
+
+std::vector<std::unique_ptr<core::Workload>> grid_workloads() {
+  std::vector<std::unique_ptr<core::Workload>> out;
+  for (const int n : {10, 20, 30, 40, 60, 80, 120, 160}) {
+    const int side = std::max(4, n * 2 / 5);
+    out.push_back(std::make_unique<core::CronosWorkload>(
+        cronos::GridDims{n, side, side}, 10));
+  }
+  for (const int ligands : {2, 16, 128, 256, 512, 1024, 4096, 10000}) {
+    for (const int atoms : {31, 63, 89}) {
+      for (const int frags : {4, 8, 20}) {
+        out.push_back(
+            std::make_unique<core::LigenWorkload>(ligands, atoms, frags));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(KernelFeaturesTest, ExtractionIsPureAcrossFiftySeeds) {
+  const sim::DeviceSpec spec = sim::v100();
+  const double freq = profiling_freq(spec);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    // Two independently constructed copies of the same logical input must
+    // yield the same vector, bit for bit.
+    const std::vector<double> a =
+        core::hybrid_feature_block(random_launch_list(seed), spec, freq);
+    const std::vector<double> b =
+        core::hybrid_feature_block(random_launch_list(seed), spec, freq);
+    ASSERT_EQ(a.size(), core::hybrid_feature_names().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "seed " << seed << " feature " << i;
+    }
+  }
+}
+
+TEST(KernelFeaturesTest, BlockIsInvariantUnderLaunchPermutation) {
+  const sim::DeviceSpec spec = sim::v100();
+  const double freq = profiling_freq(spec);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::vector<core::KernelLaunch> launches = random_launch_list(seed);
+    const std::vector<double> reference =
+        core::hybrid_feature_block(launches, spec, freq);
+
+    // A rotation plus a seeded Fisher-Yates shuffle: two unrelated
+    // permutations per seed, both must reproduce the reference bits.
+    std::vector<core::KernelLaunch> rotated = launches;
+    std::rotate(rotated.begin(), rotated.begin() + rotated.size() / 2,
+                rotated.end());
+    std::vector<core::KernelLaunch> shuffled = launches;
+    Rng rng(derive_seed(seed, 17));
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.uniform_int(i)]);
+    }
+    for (const auto& permuted : {rotated, shuffled}) {
+      const std::vector<double> block =
+          core::hybrid_feature_block(permuted, spec, freq);
+      ASSERT_EQ(block.size(), reference.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        EXPECT_EQ(block[i], reference[i]) << "seed " << seed << " feature "
+                                          << i;
+      }
+    }
+  }
+}
+
+TEST(KernelFeaturesTest, EveryFeatureIsFiniteAcrossTheWorkloadGrids) {
+  const auto workloads = grid_workloads();
+  for (const sim::DeviceSpec& spec :
+       {sim::v100(), sim::mi100(), sim::intel_max1100()}) {
+    const double freq = profiling_freq(spec);
+    for (const auto& workload : workloads) {
+      const std::vector<double> fused =
+          core::fused_feature_vector(*workload, spec, freq);
+      ASSERT_EQ(fused.size(), core::fused_feature_names(*workload).size())
+          << workload->name() << " on " << spec.name;
+      for (std::size_t i = 0; i < fused.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(fused[i]))
+            << workload->name() << " on " << spec.name << " feature " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelFeaturesTest, FusedVectorPrefixesDomainFeatures) {
+  const sim::DeviceSpec spec = sim::v100();
+  const core::CronosWorkload workload({40, 16, 16}, 10);
+  const std::vector<double> domain = workload.domain_features();
+  const std::vector<double> fused =
+      core::fused_feature_vector(workload, spec, profiling_freq(spec));
+  ASSERT_GT(fused.size(), domain.size());
+  for (std::size_t i = 0; i < domain.size(); ++i) {
+    EXPECT_EQ(fused[i], domain[i]) << "feature " << i;
+  }
+}
+
+TEST(KernelFeaturesTest, MalformedLaunchListsAreRejected) {
+  const sim::DeviceSpec spec = sim::v100();
+  const double freq = profiling_freq(spec);
+  EXPECT_THROW(core::hybrid_feature_block({}, spec, freq), contract_error);
+
+  std::vector<core::KernelLaunch> launches = random_launch_list(1);
+  EXPECT_THROW(core::hybrid_feature_block(launches, spec, 0.0),
+               contract_error);
+  EXPECT_THROW(core::hybrid_feature_block(launches, spec, -100.0),
+               contract_error);
+
+  auto no_items = launches;
+  no_items.front().work_items = 0;
+  EXPECT_THROW(core::hybrid_feature_block(no_items, spec, freq),
+               contract_error);
+
+  auto no_launches = launches;
+  no_launches.front().launches = 0.0;
+  EXPECT_THROW(core::hybrid_feature_block(no_launches, spec, freq),
+               contract_error);
+
+  auto bad_profile = launches;
+  bad_profile.front().profile.float_add = -1.0;
+  EXPECT_THROW(core::hybrid_feature_block(bad_profile, spec, freq),
+               contract_error);
+}
+
+} // namespace

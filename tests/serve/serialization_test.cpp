@@ -133,4 +133,117 @@ TEST(SerializationTest, UntrainedModelRefusesToSerialize) {
   EXPECT_THROW(untrained.to_json(), contract_error);
 }
 
+// The hybrid payload mirrors the domain-specific suites above: the same
+// byte-stability, prediction-identity, and rejection contracts must hold
+// for the third model family.
+
+TEST(HybridSerializationTest, RoundTripIsByteIdenticalAcrossFiftySeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ModelArtifact artifact = serve_test::synthetic_hybrid_artifact(seed);
+    const std::string first = artifact.to_json().dump(2);
+    const ModelArtifact reloaded =
+        ModelArtifact::from_json(json::Value::parse(first));
+    ASSERT_TRUE(reloaded.is_hybrid()) << "seed " << seed;
+    const std::string second = reloaded.to_json().dump(2);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(HybridSerializationTest, RoundTripPredictsBitIdentically) {
+  const sim::DeviceSpec spec = sim::v100();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ModelArtifact artifact = serve_test::synthetic_hybrid_artifact(seed);
+    const ModelArtifact reloaded =
+        ModelArtifact::from_json(json::Value::parse(artifact.to_json().dump()));
+
+    // Probe with training-grid workloads plus one off-grid size.
+    std::vector<std::unique_ptr<core::Workload>> probes;
+    probes.push_back(std::make_unique<core::CronosWorkload>(
+        cronos::GridDims{20, 8, 8}, 10));
+    probes.push_back(std::make_unique<core::CronosWorkload>(
+        cronos::GridDims{60, 24, 24}, 10));
+    for (const auto& probe : probes) {
+      const core::Prediction a =
+          artifact.hybrid->predict(*probe, spec, kFreqs, kDefaultFreq);
+      const core::Prediction b =
+          reloaded.hybrid->predict(*probe, spec, kFreqs, kDefaultFreq);
+      EXPECT_EQ(a.time_s, b.time_s) << "seed " << seed;
+      EXPECT_EQ(a.energy_j, b.energy_j) << "seed " << seed;
+      EXPECT_EQ(a.speedup, b.speedup) << "seed " << seed;
+      EXPECT_EQ(a.norm_energy, b.norm_energy) << "seed " << seed;
+    }
+  }
+}
+
+TEST(HybridSerializationTest, FileRoundTripIsByteIdentical) {
+  const ModelArtifact artifact = serve_test::synthetic_hybrid_artifact(3);
+  const std::string path_a = testing::TempDir() + "dsem_hybrid_a.json";
+  const std::string path_b = testing::TempDir() + "dsem_hybrid_b.json";
+  artifact.save_file(path_a);
+  ModelArtifact::load_file(path_a).save_file(path_b);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string bytes_a = slurp(path_a);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, slurp(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(HybridSerializationTest, SchemaMismatchIsACleanError) {
+  json::Value doc = serve_test::synthetic_hybrid_artifact(4).to_json();
+  doc.set("schema", "dsem-model-v0");
+  try {
+    ModelArtifact::from_json(doc);
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported schema"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("dsem-model-v1"),
+              std::string::npos);
+  }
+}
+
+TEST(HybridSerializationTest, TruncatedDocumentIsRejected) {
+  const std::string full = serve_test::synthetic_hybrid_artifact(5)
+                               .to_json()
+                               .dump();
+  for (const std::size_t cut : {full.size() / 4, full.size() / 2,
+                                full.size() - 2}) {
+    EXPECT_THROW(
+        ModelArtifact::from_json(json::Value::parse(full.substr(0, cut))),
+        contract_error)
+        << "cut " << cut;
+  }
+}
+
+TEST(HybridSerializationTest, BadInputWidthIsRejected) {
+  for (const double width : {0.0, 1.0, -3.0, 6.5}) {
+    json::Value doc = serve_test::synthetic_hybrid_artifact(6).to_json();
+    doc.at("model").set("input_width", width);
+    EXPECT_THROW(ModelArtifact::from_json(doc), contract_error)
+        << "width " << width;
+  }
+}
+
+TEST(HybridSerializationTest, TamperedForestIsRejected) {
+  json::Value doc = serve_test::synthetic_hybrid_artifact(7).to_json();
+  // Turn the root into a leaf: every other node becomes unreachable.
+  json::Value& tree0 = doc.at("model").at("time").at("trees").as_array()[0];
+  json::Value::Array& root = tree0.at("nodes").as_array()[0].as_array();
+  root[2] = json::Value(-1);
+  root[3] = json::Value(-1);
+  EXPECT_THROW(ModelArtifact::from_json(doc), contract_error);
+}
+
+TEST(HybridSerializationTest, UntrainedHybridRefusesToSerialize) {
+  const core::HybridModel untrained;
+  EXPECT_THROW(untrained.to_json(), contract_error);
+}
+
 } // namespace

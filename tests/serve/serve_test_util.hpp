@@ -4,6 +4,7 @@
 // share.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -12,10 +13,13 @@
 #include "common/rng.hpp"
 #include "core/dataset.hpp"
 #include "core/ds_model.hpp"
+#include "core/hybrid_model.hpp"
+#include "core/workload.hpp"
 #include "ml/forest.hpp"
 #include "serve/artifact.hpp"
 #include "serve/train.hpp"
 #include "sim/device.hpp"
+#include "sim/device_spec.hpp"
 #include "synergy/device.hpp"
 
 namespace dsem::serve_test {
@@ -80,6 +84,73 @@ inline serve::ModelArtifact synthetic_artifact(
   artifact.freqs_mhz = kFreqs;
   artifact.default_freq_mhz = kDefaultFreq;
   artifact.ds = std::move(model);
+  return artifact;
+}
+
+/// The fixed Cronos grids behind the synthetic hybrid fixtures: real
+/// workloads (the hybrid extractor needs kernel launch lists) over a
+/// synthetic measurement surface (no device sweep).
+inline const std::vector<std::unique_ptr<core::Workload>>&
+hybrid_test_workloads() {
+  static const std::vector<std::unique_ptr<core::Workload>> workloads = [] {
+    std::vector<std::unique_ptr<core::Workload>> out;
+    for (const int n : {10, 20, 40, 80}) {
+      const int side = std::max(4, n * 2 / 5);
+      out.push_back(std::make_unique<core::CronosWorkload>(
+          cronos::GridDims{n, side, side}, 10));
+    }
+    return out;
+  }();
+  return workloads;
+}
+
+/// Like synthetic_dataset, but grouped over hybrid_test_workloads() with
+/// the group metadata (names, baselines, default clock) the hybrid
+/// trainer requires.
+inline core::Dataset synthetic_hybrid_dataset(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& workloads = hybrid_test_workloads();
+  core::Dataset dataset;
+  dataset.x = ml::Matrix(workloads.size() * kFreqs.size(), 4);
+  std::size_t r = 0;
+  for (std::size_t g = 0; g < workloads.size(); ++g) {
+    const std::vector<double> features = workloads[g]->domain_features();
+    const double work = 1.0 + features[0] * features[1] * features[2] * 1e-3;
+    for (const double freq : kFreqs) {
+      auto row = dataset.x.row(r);
+      std::copy(features.begin(), features.end(), row.begin());
+      row[features.size()] = freq;
+      const double slowdown = kDefaultFreq / freq;
+      dataset.time_s.push_back(work * std::pow(slowdown, 0.8) *
+                               (1.0 + 0.02 * rng.uniform()));
+      dataset.energy_j.push_back(work * std::pow(freq / kDefaultFreq, 1.6) *
+                                 (50.0 + 5.0 * rng.uniform()));
+      dataset.groups.push_back(static_cast<int>(g));
+      ++r;
+    }
+    dataset.group_names.push_back(workloads[g]->name());
+    dataset.group_default.push_back({work, work * 52.0});
+    dataset.default_freq_mhz.push_back(kDefaultFreq);
+  }
+  return dataset;
+}
+
+/// Trains a hybrid artifact on the synthetic surface — fused features come
+/// from the real kernel launch lists on the (noise-free) V100 spec, so
+/// this is milliseconds per call like synthetic_artifact.
+inline serve::ModelArtifact synthetic_hybrid_artifact(std::uint64_t seed) {
+  auto model = std::make_shared<core::HybridModel>(
+      ml::RandomForestRegressor(small_forest_params(seed)));
+  model->train(synthetic_hybrid_dataset(derive_seed(seed, 11)),
+               hybrid_test_workloads(), sim::v100());
+
+  serve::ModelArtifact artifact;
+  artifact.key = {"cronos", "v100"};
+  artifact.origin = "synthetic-test";
+  artifact.feature_names = {"grid_x", "grid_y", "grid_z"};
+  artifact.freqs_mhz = kFreqs;
+  artifact.default_freq_mhz = kDefaultFreq;
+  artifact.hybrid = std::move(model);
   return artifact;
 }
 
