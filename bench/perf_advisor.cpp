@@ -61,6 +61,10 @@ void BM_ServeMixed(benchmark::State& state) {
   state.counters["throughput_rps"] = stats.throughput_rps();
   state.counters["hit_rate"] = stats.hit_rate();
   state.counters["shed"] = static_cast<double>(stats.shed);
+  // Deterministic (simulated accounting) but intentionally not _ns: the
+  // energy of the advised answers is a quality signal for eyeballs and
+  // dsem_inspect cross-checks, not a perf gate.
+  state.counters["predicted_energy_j"] = stats.predicted_energy_j;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }

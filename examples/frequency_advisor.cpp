@@ -162,7 +162,12 @@ void run_serve_mode(const CliParser& cli, serve::ModelRegistry& registry) {
             << "latency p50       " << fmt_g(stats.p50_latency_s) << " s\n"
             << "latency p99       " << fmt_g(stats.p99_latency_s) << " s\n"
             << "latency max       " << fmt_g(stats.max_latency_s) << " s\n"
-            << "simulated span    " << fmt_g(stats.sim_duration_s) << " s\n"
+            << "predicted energy  " << fmt_g(stats.predicted_energy_j)
+            << " J (advised answers, served requests)\n";
+  for (const auto& [app, joules] : stats.energy_by_application) {
+    std::cout << "  energy[" << app << "]  " << fmt_g(joules) << " J\n";
+  }
+  std::cout << "simulated span    " << fmt_g(stats.sim_duration_s) << " s\n"
             << "wall time         " << fmt_g(stats.wall_s) << " s\n"
             << "throughput        " << fmt(stats.throughput_rps(), 0)
             << " req/s (wall)\n";

@@ -213,6 +213,55 @@ double HistogramSnapshot::mean() const noexcept {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
+void HistogramSnapshot::observe(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  const std::size_t index = bucket_index(value);
+  if (buckets.size() <= index) {
+    buckets.resize(index + 1, 0);
+  }
+  ++buckets[index];
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) {
+    return;
+  }
+  DSEM_ENSURE(name.empty() || other.name.empty() || name == other.name,
+              "metrics: merging histograms of different names: " + name +
+                  " vs " + other.name);
+  if (count == 0) {
+    // An empty snapshot adopts the other side wholesale (its default
+    // reliability tag carries no information yet); only the name, when
+    // already set, survives.
+    const std::string kept_name = name;
+    *this = other;
+    if (!kept_name.empty()) {
+      name = kept_name;
+    }
+    return;
+  }
+  DSEM_ENSURE(reliability == other.reliability,
+              "metrics: merging histograms of different reliability: " +
+                  (name.empty() ? other.name : name));
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
 Registry& Registry::global() {
   static Registry* registry = new Registry; // leaked: threads record to exit
   return *registry;

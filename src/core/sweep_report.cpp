@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "obs/ledger.hpp"
 
 namespace dsem::core {
 
@@ -111,6 +112,11 @@ void add_observability_cli_options(CliParser& cli) {
   cli.add_option(
       "metrics-out",
       "write a dsem-run-v1 JSON manifest (sweep report + metrics) here", "");
+  cli.add_option(
+      "ledger-out",
+      "write a dsem-ledger-v1 attribution ledger (per-request / per-job "
+      "records) here",
+      "");
 }
 
 bool enable_observability_from_cli(const CliParser& cli) {
@@ -121,6 +127,10 @@ bool enable_observability_from_cli(const CliParser& cli) {
   }
   if (!cli.option("metrics-out").empty()) {
     metrics::set_enabled(true);
+    active = true;
+  }
+  if (!cli.option("ledger-out").empty()) {
+    obs::set_enabled(true);
     active = true;
   }
   return active;
@@ -140,6 +150,15 @@ void write_observability_outputs(std::ostream& os, const CliParser& cli,
     benchreport::write_file(metrics_out, run_manifest(program, report));
     os << "\nrun manifest written to " << metrics_out << "\n";
     metrics::Registry::global().snapshot().write_table(os);
+  }
+  const std::string ledger_out = cli.option("ledger-out");
+  if (!ledger_out.empty()) {
+    obs::Ledger::global().config().program = program;
+    obs::Ledger::global().write_file(ledger_out);
+    const auto& ledger = obs::Ledger::global();
+    os << "\nledger written to " << ledger_out << " ("
+       << ledger.requests().size() << " requests, " << ledger.jobs().size()
+       << " jobs)\n";
   }
 }
 

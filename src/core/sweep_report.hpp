@@ -78,17 +78,19 @@ json::Value run_manifest(const std::string& program,
                          const SweepReport* report);
 
 /// Registers the shared observability knobs on an example or bench CLI:
-/// --trace-out (Chrome trace-event JSON) and --metrics-out ("dsem-run-v1"
-/// manifest).
+/// --trace-out (Chrome trace-event JSON), --metrics-out ("dsem-run-v1"
+/// manifest), and --ledger-out ("dsem-ledger-v1" attribution ledger).
 void add_observability_cli_options(CliParser& cli);
 
-/// Turns the tracer and/or metrics registry on when the corresponding
-/// flag was passed. Returns true when any observability sink is active.
+/// Turns the tracer, metrics registry, and/or attribution ledger on when
+/// the corresponding flag was passed. Returns true when any
+/// observability sink is active.
 bool enable_observability_from_cli(const CliParser& cli);
 
 /// Writes whatever the observability flags requested: the Chrome trace
-/// (followed by its stdout summary table) and/or the run manifest
-/// (followed by the metrics snapshot table). No-op for flags left empty.
+/// (followed by its stdout summary table), the run manifest (followed by
+/// the metrics snapshot table), and/or the attribution ledger. No-op for
+/// flags left empty.
 void write_observability_outputs(std::ostream& os, const CliParser& cli,
                                  const std::string& program,
                                  const SweepReport* report);

@@ -1,0 +1,83 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace dsem::obs {
+
+DriftMonitor::DriftMonitor(DriftConfig config) : config_(config) {
+  DSEM_ENSURE(config_.window > 0, "drift: window must be > 0");
+  DSEM_ENSURE(config_.quantile >= 0.0 && config_.quantile <= 1.0,
+              "drift: quantile must be in [0, 1]");
+  DSEM_ENSURE(config_.threshold > 0.0, "drift: threshold must be > 0");
+  DSEM_ENSURE(config_.min_samples > 0, "drift: min_samples must be > 0");
+}
+
+void DriftMonitor::observe(const std::string& model, double time_residual,
+                           double energy_residual) {
+  DSEM_ENSURE(!model.empty(), "drift: empty model name");
+  Entry& entry = entries_[model];
+  entry.time_hist.observe(time_residual);
+  entry.energy_hist.observe(energy_residual);
+  entry.window_time.push_back(time_residual);
+  entry.window_energy.push_back(energy_residual);
+  if (entry.window_time.size() > config_.window) {
+    entry.window_time.pop_front();
+    entry.window_energy.pop_front();
+  }
+}
+
+std::vector<ArtifactDrift> DriftMonitor::report() const {
+  std::vector<ArtifactDrift> out;
+  out.reserve(entries_.size());
+  for (const auto& [model, entry] : entries_) {
+    ArtifactDrift drift;
+    drift.model = model;
+    drift.samples = entry.time_hist.count;
+    drift.time_residual = entry.time_hist;
+    drift.energy_residual = entry.energy_hist;
+    const std::vector<double> window_time(entry.window_time.begin(),
+                                          entry.window_time.end());
+    const std::vector<double> window_energy(entry.window_energy.begin(),
+                                            entry.window_energy.end());
+    drift.window_time_quantile = stats::quantile(window_time,
+                                                 config_.quantile);
+    drift.window_energy_quantile =
+        stats::quantile(window_energy, config_.quantile);
+    drift.drifted = window_time.size() >= config_.min_samples &&
+                    (drift.window_time_quantile > config_.threshold ||
+                     drift.window_energy_quantile > config_.threshold);
+    out.push_back(std::move(drift));
+  }
+  return out;
+}
+
+json::Value DriftMonitor::to_json() const {
+  const auto residual_json = [](const metrics::HistogramSnapshot& hist) {
+    auto out = json::Value::object();
+    out.set("count", hist.count);
+    out.set("min", hist.min);
+    out.set("max", hist.max);
+    out.set("p50", hist.quantile(0.5));
+    out.set("p90", hist.quantile(0.9));
+    out.set("p99", hist.quantile(0.99));
+    return out;
+  };
+  auto artifacts = json::Value::array();
+  for (const ArtifactDrift& drift : report()) {
+    auto obj = json::Value::object();
+    obj.set("model", drift.model);
+    obj.set("samples", drift.samples);
+    obj.set("time_residual", residual_json(drift.time_residual));
+    obj.set("energy_residual", residual_json(drift.energy_residual));
+    obj.set("window_time_quantile", drift.window_time_quantile);
+    obj.set("window_energy_quantile", drift.window_energy_quantile);
+    obj.set("drifted", drift.drifted);
+    artifacts.push_back(std::move(obj));
+  }
+  return artifacts;
+}
+
+} // namespace dsem::obs

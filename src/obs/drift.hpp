@@ -1,0 +1,87 @@
+// Model-drift monitor: per-artifact prediction-residual tracking
+// (DESIGN.md §7.14).
+//
+// DSO-style deployments retrain on the signal the ledger's job records
+// carry anyway: the relative residual between what the deployed model
+// predicted and what execution observed. The monitor folds those
+// residuals per artifact into two views:
+//  - an all-time histogram on the common/metrics log-bucket geometry
+//    (8 buckets/octave), compact enough to live inside the ledger JSON;
+//  - a sliding window of the most recent `window` residuals, whose exact
+//    quantile (common/statistics semantics) drives the drift flag —
+//    drifted when the windowed quantile of either the time or the energy
+//    residual exceeds `threshold` with at least `min_samples` in the
+//    window.
+//
+// Deterministic: folds happen in record order (the loops' serial
+// accounting phases) and every statistic is a pure function of the folded
+// sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace dsem::obs {
+
+struct DriftConfig {
+  /// Residual samples per artifact in the sliding window.
+  std::size_t window = 256;
+  /// Windowed quantile compared against the threshold (0.9 = p90).
+  double quantile = 0.9;
+  /// Relative-residual level that flags drift (0.25 = 25% error).
+  double threshold = 0.25;
+  /// Minimum window occupancy before the flag can raise (early traffic
+  /// should not trip it on a handful of unlucky jobs).
+  std::size_t min_samples = 32;
+
+  bool operator==(const DriftConfig&) const = default;
+};
+
+/// One artifact's drift report.
+struct ArtifactDrift {
+  std::string model; ///< "app/device@origin"
+  std::uint64_t samples = 0;
+  /// All-time residual distributions (metrics log-bucket geometry).
+  metrics::HistogramSnapshot time_residual;
+  metrics::HistogramSnapshot energy_residual;
+  /// Exact quantiles over the current window (common/statistics).
+  double window_time_quantile = 0.0;
+  double window_energy_quantile = 0.0;
+  bool drifted = false;
+};
+
+class DriftMonitor {
+public:
+  explicit DriftMonitor(DriftConfig config = {});
+
+  /// Folds one job's residuals for `model`. Call in record order.
+  void observe(const std::string& model, double time_residual,
+               double energy_residual);
+
+  /// Per-artifact reports, sorted by model name (map order).
+  std::vector<ArtifactDrift> report() const;
+
+  /// JSON fragment used by the ledger summary: one object per artifact
+  /// with residual quantiles and the drift flag.
+  json::Value to_json() const;
+
+private:
+  struct Entry {
+    metrics::HistogramSnapshot time_hist;
+    metrics::HistogramSnapshot energy_hist;
+    std::deque<double> window_time;
+    std::deque<double> window_energy;
+  };
+
+  DriftConfig config_;
+  std::map<std::string, Entry> entries_;
+};
+
+} // namespace dsem::obs

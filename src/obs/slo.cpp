@@ -1,0 +1,88 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsem::obs {
+
+json::Value SloReport::to_json() const {
+  auto out = json::Value::object();
+  out.set("events", events);
+  out.set("violations", violations);
+  out.set("budget", budget);
+  out.set("violation_rate", violation_rate);
+  out.set("total_burn", total_burn);
+  out.set("peak_window_rate", peak_window_rate);
+  out.set("peak_burn", peak_burn);
+  out.set("peak_window_end_s", peak_window_end_s);
+  out.set("exhausted", exhausted);
+  return out;
+}
+
+SloTracker::SloTracker(double budget, double window_s)
+    : budget_(budget), window_s_(window_s) {
+  DSEM_ENSURE(budget_ > 0.0 && budget_ <= 1.0,
+              "slo: budget must be a fraction in (0, 1]");
+  DSEM_ENSURE(window_s_ > 0.0, "slo: window must be > 0");
+}
+
+void SloTracker::add(double time_s, bool violation) {
+  events_.push_back({time_s, violation});
+}
+
+SloReport SloTracker::report() const {
+  SloReport out;
+  out.budget = budget_;
+  out.events = static_cast<std::uint64_t>(events_.size());
+  if (events_.empty()) {
+    return out;
+  }
+
+  // Sort by time; stable so same-time events keep insertion order and
+  // the sweep below is a pure function of the event multiset.
+  std::vector<Event> sorted(events_);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  for (const Event& event : sorted) {
+    if (event.violation) {
+      ++out.violations;
+    }
+  }
+  out.violation_rate = static_cast<double>(out.violations) /
+                       static_cast<double>(out.events);
+  out.total_burn = out.violation_rate / budget_;
+  out.exhausted = out.total_burn > 1.0;
+
+  // Exact trailing-window sweep: for every event, the window (end -
+  // window_s, end] ending at it. Two pointers, O(n) after the sort.
+  std::size_t begin = 0;
+  std::uint64_t window_violations = 0;
+  std::uint64_t window_events = 0;
+  for (std::size_t end = 0; end < sorted.size(); ++end) {
+    ++window_events;
+    if (sorted[end].violation) {
+      ++window_violations;
+    }
+    while (sorted[begin].time_s <= sorted[end].time_s - window_s_) {
+      --window_events;
+      if (sorted[begin].violation) {
+        --window_violations;
+      }
+      ++begin;
+    }
+    const double rate = static_cast<double>(window_violations) /
+                        static_cast<double>(window_events);
+    if (rate > out.peak_window_rate) {
+      out.peak_window_rate = rate;
+      out.peak_window_end_s = sorted[end].time_s;
+    }
+  }
+  out.peak_burn = out.peak_window_rate / budget_;
+  return out;
+}
+
+} // namespace dsem::obs

@@ -1,0 +1,83 @@
+// SLO tracking in simulated time: objective budgets and sliding-window
+// burn rates (DESIGN.md §7.14).
+//
+// An SLO here is "at most `budget` of events may violate the objective".
+// The tracker consumes (simulated time, violated?) events — served
+// latencies against a latency objective, job completions against their
+// deadlines — and reports two burn rates:
+//  - total burn: overall violation fraction / budget (1.0 = the error
+//    budget is exactly spent);
+//  - peak window burn: the worst violation fraction over any trailing
+//    `window_s`-second window, again normalized by the budget — the
+//    standard multi-window burn-rate alerting signal, except computed
+//    exactly over the whole run because time is simulated.
+//
+// Deterministic: events are sorted by (time, insertion order) before the
+// exact two-pointer window sweep, so the report is a pure function of
+// the event multiset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace dsem::obs {
+
+struct SloConfig {
+  /// Served-latency objective for request streams, simulated seconds.
+  double latency_objective_s = 0.005;
+  /// Fraction of requests allowed to violate it (shed counts as a
+  /// violation: a shed request got no answer at all).
+  double latency_budget = 0.02;
+  /// Fraction of jobs allowed to miss their deadline.
+  double miss_budget = 0.05;
+  /// Trailing window width for the peak burn rate, simulated seconds.
+  double window_s = 10.0;
+
+  bool operator==(const SloConfig&) const = default;
+};
+
+/// Burn-rate report for one objective.
+struct SloReport {
+  std::uint64_t events = 0;
+  std::uint64_t violations = 0;
+  double budget = 0.0;
+  double violation_rate = 0.0;    ///< violations / events
+  double total_burn = 0.0;        ///< violation_rate / budget
+  double peak_window_rate = 0.0;  ///< worst trailing-window fraction
+  double peak_burn = 0.0;         ///< peak_window_rate / budget
+  double peak_window_end_s = 0.0; ///< when the worst window ended
+  bool exhausted = false;         ///< total_burn > 1
+
+  json::Value to_json() const;
+};
+
+class SloTracker {
+public:
+  /// `budget` is the allowed violation fraction; `window_s` the trailing
+  /// window width (simulated seconds, > 0).
+  SloTracker(double budget, double window_s);
+
+  /// Adds one event at simulated time `time_s`. Order-insensitive up to
+  /// ties (the report sorts), so the loops add in accounting order.
+  void add(double time_s, bool violation);
+
+  std::uint64_t events() const noexcept {
+    return static_cast<std::uint64_t>(events_.size());
+  }
+
+  SloReport report() const;
+
+private:
+  struct Event {
+    double time_s = 0.0;
+    bool violation = false;
+  };
+
+  double budget_;
+  double window_s_;
+  std::vector<Event> events_;
+};
+
+} // namespace dsem::obs

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/ledger.hpp"
 #include "sim/power_model.hpp"
 #include "synergy/queue.hpp"
 
@@ -94,6 +96,12 @@ ClusterScheduler::run(std::span<const serve::TimedJob> jobs) {
   const auto wall_start = std::chrono::steady_clock::now();
   stats_ = SchedStats{};
   stats_.jobs = jobs.size();
+
+  // Attribution-ledger sink, resolved once per run (see ServeLoop::run).
+  obs::Ledger* const ledger =
+      config_.ledger != nullptr
+          ? config_.ledger
+          : (obs::enabled() ? &obs::Ledger::global() : nullptr);
 
   ThreadPool& pool = config_.pool ? *config_.pool : ThreadPool::global();
   const sim::DeviceSpec& spec = cluster_.device(0).spec();
@@ -191,6 +199,64 @@ ClusterScheduler::run(std::span<const serve::TimedJob> jobs) {
       static_cast<std::size_t>(cluster_.size()), 0.0);
   std::vector<double> rank_busy_s(rank_free_s.size(), 0.0);
 
+  // Ledger attribution for one finalized outcome (appended in arrival
+  // order, so the ledger stream is deterministic like the outcomes).
+  const auto record_job = [&](std::size_t i, const JobOutcome& outcome) {
+    const serve::TimedJob& job = jobs[i];
+    obs::JobRecord record;
+    record.index = static_cast<std::uint64_t>(i);
+    record.id = obs::derive_record_id("job", record.index);
+    record.application = job.spec.application;
+    if (model_driven) {
+      const auto& artifact = *artifacts.at(job.spec.application);
+      record.model = artifact.key.to_string() + "@" + artifact.origin;
+    }
+    record.rank = outcome.rank;
+    record.freq_mhz = outcome.freq_mhz;
+    record.arrival_s = job.arrival_s;
+    record.start_s = outcome.start_s;
+    record.finish_s = outcome.finish_s;
+    record.deadline_s = outcome.deadline_s;
+    record.queue_wait_s =
+        outcome.rejected ? 0.0 : outcome.start_s - job.arrival_s;
+    record.predicted_time_s = outcome.predicted_time_s;
+    record.predicted_energy_j = outcome.predicted_energy_j;
+    record.true_time_s = outcome.true_time_s;
+    record.true_energy_j = outcome.true_energy_j;
+    if (model_driven && !outcome.rejected && outcome.true_time_s > 0.0 &&
+        outcome.true_energy_j > 0.0) {
+      record.time_residual =
+          std::abs(outcome.predicted_time_s - outcome.true_time_s) /
+          outcome.true_time_s;
+      record.energy_residual =
+          std::abs(outcome.predicted_energy_j - outcome.true_energy_j) /
+          outcome.true_energy_j;
+    }
+    if (!outcome.rejected && outcome.deadline_s > job.arrival_s) {
+      record.slack_consumed = (outcome.finish_s - job.arrival_s) /
+                              (outcome.deadline_s - job.arrival_s);
+    }
+    record.infeasible = outcome.infeasible;
+    record.rejected = outcome.rejected;
+    record.missed = outcome.missed;
+    // Miss-cause precedence (obs/ledger.hpp): infeasibility first, then
+    // model error vs placement by whether the job would have missed even
+    // starting at arrival. Baselines never consult a model, so a miss
+    // the true runtime alone explains is an infeasible clock, not a
+    // model error.
+    if (outcome.missed) {
+      if (outcome.infeasible) {
+        record.cause = obs::MissCause::kInfeasible;
+      } else if (job.arrival_s + outcome.true_time_s > outcome.deadline_s) {
+        record.cause = model_driven ? obs::MissCause::kModelError
+                                    : obs::MissCause::kInfeasible;
+      } else {
+        record.cause = obs::MissCause::kPlacement;
+      }
+    }
+    ledger->add(std::move(record));
+  };
+
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const serve::TimedJob& job = jobs[i];
     const JobPlan& plan = plans[i];
@@ -240,6 +306,9 @@ ClusterScheduler::run(std::span<const serve::TimedJob> jobs) {
         outcome.missed = true;
         ++stats_.rejected;
         ++stats_.misses;
+        if (ledger != nullptr) {
+          record_job(i, outcome);
+        }
         continue;
       }
     }
@@ -283,7 +352,15 @@ ClusterScheduler::run(std::span<const serve::TimedJob> jobs) {
     stats_.makespan_s = std::max(stats_.makespan_s, outcome.finish_s);
     metrics::histogram("sched.turnaround_s",
                        outcome.finish_s - job.arrival_s);
+    if (ledger != nullptr) {
+      record_job(i, outcome);
+    }
   }
+
+  // Every job is either completed or rejected — the ledger's
+  // reconciliation guarantee starts here.
+  DSEM_ENSURE(stats_.completed + stats_.rejected == stats_.jobs,
+              "sched: completed + rejected must equal jobs");
 
   // Idle draw closes the cluster energy account: every rank burns its
   // standing-clock idle power over its gaps up to the makespan.

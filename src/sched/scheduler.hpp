@@ -37,6 +37,10 @@
 #include "serve/traffic.hpp"
 #include "sim/profile_cache.hpp"
 
+namespace dsem::obs {
+class Ledger;
+} // namespace dsem::obs
+
 namespace dsem::sched {
 
 /// Where a job goes.
@@ -77,6 +81,11 @@ struct SchedConfig {
   ThreadPool* pool = nullptr;
   /// Base seed of the per-job execution noise streams (derived by index).
   std::uint64_t seed = 0x5C4EDULL;
+  /// Explicit attribution-ledger sink: when set, every job is recorded
+  /// here regardless of obs::enabled(). When null, records go to
+  /// obs::Ledger::global() iff the global switch is on (--ledger-out /
+  /// DSEM_LEDGER). See obs/ledger.hpp.
+  obs::Ledger* ledger = nullptr;
 };
 
 /// One job's fate. All times are simulated seconds.

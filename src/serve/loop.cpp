@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/statistics.hpp"
+#include "obs/ledger.hpp"
 
 namespace dsem::serve {
 
@@ -48,6 +49,14 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
   }
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Attribution-ledger sink, resolved once per run: the explicit config
+  // sink wins; otherwise the global ledger when obs is enabled. The
+  // per-request cost when off is this null check.
+  obs::Ledger* const ledger =
+      config_.ledger != nullptr
+          ? config_.ledger
+          : (obs::enabled() ? &obs::Ledger::global() : nullptr);
+
   stats_ = ServeStats{};
   stats_.requests = trace.size();
   std::vector<AdviseResponse> responses(trace.size());
@@ -67,6 +76,23 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
     response.latency_s = when_s - response.arrival_s;
     last_completion_s = std::max(last_completion_s, when_s);
     ++stats_.shed;
+    if (ledger != nullptr) {
+      // Shed requests must appear in the ledger too — otherwise its
+      // totals cannot reconcile with ServeStats. A shed request spent its
+      // whole latency waiting and was never dispatched (batch 0).
+      obs::RequestRecord record;
+      record.index = static_cast<std::uint64_t>(index);
+      record.id = obs::derive_record_id("req", record.index);
+      record.application = trace[index].request.application;
+      record.arrival_s = response.arrival_s;
+      record.queue_wait_s = response.latency_s;
+      record.completion_s = when_s;
+      record.latency_s = response.latency_s;
+      record.shed = true;
+      record.max_slowdown = trace[index].request.max_slowdown;
+      record.cause = obs::MissCause::kShed;
+      ledger->add(std::move(record));
+    }
   };
 
   while (next_arrival < trace.size() || !waiting.empty()) {
@@ -151,6 +177,7 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
         std::max(server_free_s, responses[batch.front()].arrival_s);
     for (std::size_t b = 0; b < batch.size(); ++b) {
       AdviseResponse& response = responses[batch[b]];
+      const double service_start_s = now_s;
       now_s += hit[b] ? config_.hit_cost_s : config_.miss_cost_s;
       response.cache_hit = hit[b];
       response.completion_s = now_s;
@@ -162,6 +189,29 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
         cache_.put(keys[b], response.answer);
       }
       ++stats_.served;
+      stats_.predicted_energy_j += response.answer.predicted_energy_j;
+      stats_.energy_by_application[app] +=
+          response.answer.predicted_energy_j;
+      if (ledger != nullptr) {
+        obs::RequestRecord record;
+        record.index = static_cast<std::uint64_t>(batch[b]);
+        record.id = obs::derive_record_id("req", record.index);
+        record.application = app;
+        record.model = response.model;
+        record.arrival_s = response.arrival_s;
+        record.queue_wait_s = service_start_s - response.arrival_s;
+        record.service_s = now_s - service_start_s;
+        record.completion_s = now_s;
+        record.latency_s = response.latency_s;
+        record.cache_hit = hit[b];
+        record.batch = stats_.batches; // 1-based: incremented at dispatch
+        record.freq_mhz = response.answer.freq_mhz;
+        record.predicted_time_s = response.answer.predicted_time_s;
+        record.predicted_energy_j = response.answer.predicted_energy_j;
+        record.max_slowdown = trace[batch[b]].request.max_slowdown;
+        record.budget_infeasible = response.answer.budget_infeasible;
+        ledger->add(std::move(record));
+      }
     }
     server_free_s = now_s;
     last_completion_s = std::max(last_completion_s, now_s);
@@ -188,13 +238,20 @@ ServeLoop::run(std::span<const TimedRequest> trace) {
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
 
+  // Every request is either served or shed — the ledger's reconciliation
+  // guarantee starts here.
+  DSEM_ENSURE(stats_.served + stats_.shed == stats_.requests,
+              "serve: served + shed must equal requests");
+
   metrics::counter("serve.requests", stats_.requests);
   metrics::counter("serve.served", stats_.served);
   metrics::counter("serve.shed", stats_.shed);
   metrics::counter("serve.cache.hits", stats_.cache_hits);
   metrics::counter("serve.cache.misses", stats_.cache_misses);
   metrics::counter("serve.batches", stats_.batches);
-  // Driver-thread gauge: deterministic because run() is serial here.
+  // Driver-thread gauges: deterministic because run() is serial here.
+  metrics::gauge("serve.predicted_energy_j", stats_.predicted_energy_j,
+                 metrics::Reliability::kDeterministic);
   metrics::gauge("serve.sim_duration_s", stats_.sim_duration_s,
                  metrics::Reliability::kDeterministic);
   metrics::gauge("serve.wall_s", stats_.wall_s);

@@ -41,6 +41,10 @@
 #include "serve/registry.hpp"
 #include "serve/traffic.hpp"
 
+namespace dsem::obs {
+class Ledger;
+} // namespace dsem::obs
+
 namespace dsem::serve {
 
 struct ServeConfig {
@@ -59,6 +63,11 @@ struct ServeConfig {
   double miss_cost_s = 2e-4;
   /// Pool for batched inference; nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Explicit attribution-ledger sink: when set, every request is
+  /// recorded here regardless of obs::enabled(). When null, records go
+  /// to obs::Ledger::global() iff the global switch is on (--ledger-out /
+  /// DSEM_LEDGER). See obs/ledger.hpp.
+  obs::Ledger* ledger = nullptr;
 };
 
 /// Outcome of one request. All times are simulated seconds.
@@ -90,6 +99,11 @@ struct ServeStats {
   double max_latency_s = 0.0;
   double sim_duration_s = 0.0; ///< last completion in simulated time
   double wall_s = 0.0;         ///< wall-clock run time (report only)
+  /// Predicted joules of the advised answers, summed over served
+  /// requests in trace order (shed requests consume no energy budget).
+  double predicted_energy_j = 0.0;
+  /// The same total split per application, map-ordered.
+  std::map<std::string, double> energy_by_application;
 
   double hit_rate() const noexcept {
     return served > 0 ? static_cast<double>(cache_hits) /

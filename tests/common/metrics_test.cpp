@@ -323,5 +323,106 @@ TEST_F(MetricsTest, DisabledMetricsOverheadStaysNegligible) {
   EXPECT_TRUE(Registry::global().snapshot().empty());
 }
 
+TEST_F(MetricsTest, StandaloneObserveMatchesRegistryRecording) {
+  // HistogramSnapshot::observe must accumulate exactly like recording
+  // through the registry: same count/min/max/sum, same bucket counts,
+  // same quantiles (the obs:: drift monitor depends on this).
+  const std::vector<double> samples = {1e-6, 3.4e-3, 3.5e-3, 0.12,
+                                       7.0,  0.0,    -2.0};
+  set_enabled(true);
+  for (const double s : samples) {
+    histogram("merge.reference", s);
+  }
+  const Snapshot snap = Registry::global().snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& reference = snap.histograms.front();
+
+  HistogramSnapshot standalone;
+  for (const double s : samples) {
+    standalone.observe(s);
+  }
+  EXPECT_EQ(standalone.count, reference.count);
+  EXPECT_EQ(standalone.sum, reference.sum);
+  EXPECT_EQ(standalone.min, reference.min);
+  EXPECT_EQ(standalone.max, reference.max);
+  EXPECT_EQ(standalone.buckets, reference.buckets);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(standalone.quantile(q), reference.quantile(q)) << q;
+  }
+}
+
+TEST_F(MetricsTest, MergeAcrossRegistrySnapshotsEqualsOneCombinedRun) {
+  // Two registry generations (snapshot + clear between them, i.e. two
+  // independent registries' views) merged with HistogramSnapshot::merge
+  // must equal one registry that saw every sample.
+  const std::vector<double> first = {2e-6, 0.5, 0.03};
+  const std::vector<double> second = {9.0, 1e-9, 0.031};
+
+  set_enabled(true);
+  for (const double s : first) {
+    histogram("merge.split", s);
+  }
+  Snapshot gen1 = Registry::global().snapshot();
+  Registry::global().clear();
+  for (const double s : second) {
+    histogram("merge.split", s);
+  }
+  Snapshot gen2 = Registry::global().snapshot();
+  Registry::global().clear();
+
+  for (const double s : first) {
+    histogram("merge.split", s);
+  }
+  for (const double s : second) {
+    histogram("merge.split", s);
+  }
+  const Snapshot combined = Registry::global().snapshot();
+
+  ASSERT_EQ(gen1.histograms.size(), 1u);
+  ASSERT_EQ(gen2.histograms.size(), 1u);
+  ASSERT_EQ(combined.histograms.size(), 1u);
+  HistogramSnapshot merged = gen1.histograms.front();
+  merged.merge(gen2.histograms.front());
+  const HistogramSnapshot& reference = combined.histograms.front();
+  EXPECT_EQ(merged.name, reference.name);
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.min, reference.min);
+  EXPECT_EQ(merged.max, reference.max);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  for (const double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), reference.quantile(q)) << q;
+  }
+}
+
+TEST_F(MetricsTest, MergeWithEmptySideAdoptsOrKeepsTheOther) {
+  HistogramSnapshot filled;
+  filled.name = "merge.adopt";
+  filled.observe(1.0);
+  filled.observe(2.0);
+
+  HistogramSnapshot empty;
+  empty.merge(filled); // empty adopts the filled side wholesale
+  EXPECT_EQ(empty.count, 2u);
+  EXPECT_EQ(empty.name, "merge.adopt");
+  EXPECT_EQ(empty.buckets, filled.buckets);
+
+  HistogramSnapshot unchanged = filled;
+  unchanged.merge(HistogramSnapshot{}); // merging in empty is a no-op
+  EXPECT_EQ(unchanged.count, filled.count);
+  EXPECT_EQ(unchanged.min, filled.min);
+  EXPECT_EQ(unchanged.max, filled.max);
+  EXPECT_EQ(unchanged.buckets, filled.buckets);
+}
+
+TEST_F(MetricsTest, MergeRejectsMismatchedNames) {
+  HistogramSnapshot a;
+  a.name = "merge.a";
+  a.observe(1.0);
+  HistogramSnapshot b;
+  b.name = "merge.b";
+  b.observe(2.0);
+  EXPECT_THROW(a.merge(b), contract_error);
+}
+
 } // namespace
 } // namespace dsem::metrics

@@ -1,0 +1,114 @@
+// Drift monitor unit tests: per-artifact residual folding, the sliding
+// window, and the drift flag's threshold / min-samples gating.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/drift.hpp"
+
+namespace dsem::obs {
+namespace {
+
+DriftConfig small_config() {
+  DriftConfig config;
+  config.window = 4;
+  config.quantile = 1.0; // windowed max: easiest to hand-compute
+  config.threshold = 0.25;
+  config.min_samples = 2;
+  return config;
+}
+
+TEST(DriftTest, FlagsWhenWindowedQuantileExceedsThreshold) {
+  DriftMonitor monitor(small_config());
+  monitor.observe("m", 0.10, 0.05);
+  monitor.observe("m", 0.10, 0.05);
+  ASSERT_EQ(monitor.report().size(), 1u);
+  EXPECT_FALSE(monitor.report().front().drifted); // 0.10 < 0.25
+
+  monitor.observe("m", 0.50, 0.05); // time residual breaches
+  const ArtifactDrift drifted = monitor.report().front();
+  EXPECT_EQ(drifted.window_time_quantile, 0.50);
+  EXPECT_TRUE(drifted.drifted);
+}
+
+TEST(DriftTest, EitherResidualStreamCanTripTheFlag) {
+  DriftMonitor monitor(small_config());
+  monitor.observe("m", 0.05, 0.10);
+  monitor.observe("m", 0.05, 0.60); // energy residual breaches
+  const ArtifactDrift drift = monitor.report().front();
+  EXPECT_LT(drift.window_time_quantile, 0.25);
+  EXPECT_EQ(drift.window_energy_quantile, 0.60);
+  EXPECT_TRUE(drift.drifted);
+}
+
+TEST(DriftTest, SlidingWindowEvictsOldResiduals) {
+  // A breach four observations ago has left the window (size 4): the
+  // flag clears even though the all-time histogram remembers it.
+  DriftMonitor monitor(small_config());
+  monitor.observe("m", 0.90, 0.90);
+  monitor.observe("m", 0.01, 0.01);
+  EXPECT_TRUE(monitor.report().front().drifted);
+  for (int i = 0; i < 3; ++i) {
+    monitor.observe("m", 0.01, 0.01);
+  }
+  const ArtifactDrift drift = monitor.report().front();
+  EXPECT_FALSE(drift.drifted);
+  EXPECT_EQ(drift.window_time_quantile, 0.01);
+  EXPECT_EQ(drift.samples, 5u);             // all-time count
+  EXPECT_EQ(drift.time_residual.max, 0.90); // histogram keeps the breach
+}
+
+TEST(DriftTest, MinSamplesGatesEarlyTraffic) {
+  DriftConfig config = small_config();
+  config.min_samples = 3;
+  DriftMonitor monitor(config);
+  monitor.observe("m", 0.90, 0.90);
+  monitor.observe("m", 0.90, 0.90);
+  EXPECT_FALSE(monitor.report().front().drifted); // 2 < min_samples
+  monitor.observe("m", 0.90, 0.90);
+  EXPECT_TRUE(monitor.report().front().drifted);
+}
+
+TEST(DriftTest, ReportsPerArtifactSortedByModel) {
+  DriftMonitor monitor(small_config());
+  monitor.observe("zeta/v100@x", 0.1, 0.1);
+  monitor.observe("alpha/v100@x", 0.2, 0.2);
+  const std::vector<ArtifactDrift> report = monitor.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].model, "alpha/v100@x");
+  EXPECT_EQ(report[1].model, "zeta/v100@x");
+  EXPECT_EQ(report[0].samples, 1u);
+}
+
+TEST(DriftTest, JsonFragmentCarriesResidualQuantilesAndFlag) {
+  DriftMonitor monitor(small_config());
+  monitor.observe("m", 0.50, 0.10);
+  monitor.observe("m", 0.50, 0.10);
+  const json::Value artifacts = monitor.to_json();
+  ASSERT_EQ(artifacts.as_array().size(), 1u);
+  const json::Value& entry = artifacts.as_array().front();
+  EXPECT_EQ(entry.at("model").as_string(), "m");
+  EXPECT_EQ(entry.at("samples").as_number(), 2.0);
+  EXPECT_EQ(entry.at("window_time_quantile").as_number(), 0.50);
+  EXPECT_TRUE(entry.at("drifted").as_bool());
+  EXPECT_EQ(entry.at("time_residual").at("count").as_number(), 2.0);
+  // Histogram quantiles carry bucket granularity (~9%), so p50 is near —
+  // not exactly — the exact windowed value.
+  EXPECT_NEAR(entry.at("time_residual").at("p50").as_number(), 0.50,
+              0.50 * 0.1);
+}
+
+TEST(DriftTest, RejectsInvalidConfigAndEmptyModel) {
+  DriftConfig zero_window = small_config();
+  zero_window.window = 0;
+  EXPECT_THROW(DriftMonitor{zero_window}, contract_error);
+
+  DriftConfig bad_quantile = small_config();
+  bad_quantile.quantile = 1.5;
+  EXPECT_THROW(DriftMonitor{bad_quantile}, contract_error);
+
+  DriftMonitor monitor(small_config());
+  EXPECT_THROW(monitor.observe("", 0.1, 0.1), contract_error);
+}
+
+} // namespace
+} // namespace dsem::obs
